@@ -1,0 +1,72 @@
+"""Table 1 — MATLAB interpreter vs HorsePower-Naive vs HorsePower-Opt on
+Black-Scholes and Morgan, across input sizes.
+
+Paper shape to reproduce: Naive ≈ interpreter (0.7–2.1×); Opt wins by
+~3–10× over the interpreter on both kernels, roughly independent of size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import TABLE1_SIZES, bench_scale
+from repro.data.blackscholes import generate_blackscholes
+from repro.data.morgan import generate_morgan
+from repro.matlang import compile_matlab
+from repro.matlang.interp import MatlabInterpreter
+from repro.matlang.parser import parse_program
+from repro.workloads.matlab_sources import (BLACKSCHOLES_MATLAB,
+                                            MORGAN_MATLAB)
+
+_MORGAN_WINDOW = 1000.0  # the paper sets N=1000
+
+_SIZES = [int(size * bench_scale()) for size in TABLE1_SIZES]
+
+
+def _bs_args(size: int):
+    data = generate_blackscholes(size)
+    return [data[c] for c in ("spotPrice", "strike", "rate",
+                              "volatility", "otime", "optionType")]
+
+
+def _morgan_args(size: int):
+    price, volume = generate_morgan(size)
+    return [_MORGAN_WINDOW, price, volume]
+
+
+_MORGAN_SPECS = [("f64", "scalar"), ("f64", "vector"), ("f64", "vector")]
+
+_WORKLOADS = {
+    "blackscholes": (BLACKSCHOLES_MATLAB, _bs_args, None),
+    "morgan": (MORGAN_MATLAB, _morgan_args, _MORGAN_SPECS),
+}
+
+
+def _configurations():
+    for workload in _WORKLOADS:
+        for size in _SIZES:
+            for system in ("matlab-interp", "hp-naive", "hp-opt"):
+                yield (workload, size, system)
+
+
+@pytest.mark.parametrize("workload,size,system",
+                         list(_configurations()))
+def test_table1(benchmark, workload, size, system):
+    source, make_args, specs = _WORKLOADS[workload]
+    args = make_args(size)
+
+    if system == "matlab-interp":
+        interp = MatlabInterpreter(parse_program(source))
+        run = lambda: interp.run(*args)  # noqa: E731
+    else:
+        level = "naive" if system == "hp-naive" else "opt"
+        program = compile_matlab(source, param_specs=specs,
+                                 opt_level=level)
+        run = lambda: program(*args)  # noqa: E731
+
+    benchmark.extra_info.update(table="table1", workload=workload,
+                                size=size, system=system)
+    result = benchmark.pedantic(run, rounds=3, iterations=1,
+                                warmup_rounds=1)
+    assert np.all(np.isfinite(np.asarray(result, dtype=np.float64)))

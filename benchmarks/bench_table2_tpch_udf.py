@@ -1,0 +1,55 @@
+"""Table 2 — modified TPC-H (q1, q6, q12, q14, q19) with MATLAB/Python
+UDFs: MonetDB-like baseline vs HorsePower, across thread counts, plus the
+HorsePower compilation-time row.
+
+Paper shape to reproduce: the baseline is orders of magnitude slower on
+the WHERE-clause UDF queries (q6, q12, q19 — column conversion dominates
+and does not parallelize); HorsePower wins everywhere and scales with
+threads; q1/q14 wins are moderate (SELECT-clause UDFs on reduced data).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import make_tpch_systems, thread_counts
+from repro.workloads.tpch_queries import TPCH_UDF_QUERY_NAMES, UDF_QUERIES
+
+
+def _configurations():
+    for query in TPCH_UDF_QUERY_NAMES:
+        for threads in thread_counts():
+            for system in ("monetdb-like", "horsepower"):
+                yield (query, threads, system)
+
+
+@pytest.mark.parametrize("query,threads,system", list(_configurations()))
+def test_table2(benchmark, query, threads, system):
+    hp, mdb = make_tpch_systems()
+    sql = UDF_QUERIES[query]
+    if system == "horsepower":
+        compiled = hp.compile_sql(sql)
+        run = lambda: compiled.run(n_threads=threads)  # noqa: E731
+        benchmark.extra_info.update(
+            compile_seconds=compiled.compile_seconds)
+    else:
+        plan = mdb.plan_sql(sql)
+        run = lambda: mdb.executor.execute(  # noqa: E731
+            plan, n_threads=threads)
+    benchmark.extra_info.update(table="table2", query=query,
+                                threads=threads, system=system)
+    result = benchmark.pedantic(run, rounds=3, iterations=1,
+                                warmup_rounds=1)
+    assert result is not None
+
+
+@pytest.mark.parametrize("query", TPCH_UDF_QUERY_NAMES)
+def test_table2_compile_time(benchmark, query):
+    """The COMP row: SQL → plan → HorseIR → optimized kernels."""
+    hp, _ = make_tpch_systems()
+    sql = UDF_QUERIES[query]
+    benchmark.extra_info.update(table="table2-comp", query=query)
+    compiled = benchmark.pedantic(lambda: hp.compile_sql(sql),
+                                  rounds=3, iterations=1,
+                                  warmup_rounds=1)
+    assert compiled.program is not None

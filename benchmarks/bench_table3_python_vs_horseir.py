@@ -1,0 +1,41 @@
+"""Table 3 — standalone Black-Scholes, single thread: Python/NumPy vs
+HorseIR-Naive vs HorseIR-Opt.
+
+Paper shape to reproduce: naive HorseIR ≈ NumPy (0.8–1.2×); optimized
+HorseIR ≈ 2× over NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import BLACKSCHOLES_ROWS, bench_scale
+from repro.data.blackscholes import calc_option_price, generate_blackscholes
+from repro.matlang import compile_matlab
+from repro.workloads.matlab_sources import BLACKSCHOLES_MATLAB
+
+_N = int(BLACKSCHOLES_ROWS * bench_scale())
+
+
+def _args():
+    data = generate_blackscholes(_N)
+    return [data[c] for c in ("spotPrice", "strike", "rate",
+                              "volatility", "otime", "optionType")]
+
+
+@pytest.mark.parametrize("system", ["python-numpy", "horseir-naive",
+                                    "horseir-opt"])
+def test_table3(benchmark, system):
+    args = _args()
+    if system == "python-numpy":
+        run = lambda: calc_option_price(*args)  # noqa: E731
+    else:
+        level = "naive" if system == "horseir-naive" else "opt"
+        program = compile_matlab(BLACKSCHOLES_MATLAB, opt_level=level)
+        run = lambda: program(*args)  # noqa: E731
+    benchmark.extra_info.update(table="table3", system=system,
+                                threads=1, size=_N)
+    result = benchmark.pedantic(run, rounds=3, iterations=1,
+                                warmup_rounds=1)
+    assert np.all(np.isfinite(np.asarray(result, dtype=np.float64)))

@@ -1,0 +1,54 @@
+"""Table 4 — Black-Scholes SQL variants bs0–bs3 × {table UDF, scalar UDF}
+× {MonetDB-like, HorsePower} × {1 thread, max threads}, plus HorsePower
+compile times.
+
+Paper shape to reproduce:
+
+* bs0/bs1/bs3: HorsePower ≈3–4× at one thread (no conversion + fusion),
+  larger with threads;
+* bs1 scalar: both systems filter before pricing (small absolute times);
+* bs2 scalar: both systems prune the unused column (≈1× speedup);
+* bs2 *table*: only HorsePower eliminates the UDF (backward slicing
+  across the inlined black box) — the largest speedups in the table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import make_bs_systems, thread_counts
+from repro.workloads.bs_queries import (BS_VARIANT_NAMES, SCALAR_QUERIES,
+                                        TABLE_QUERIES)
+
+_THREADS = [min(thread_counts()), max(thread_counts())]
+
+
+def _configurations():
+    for variant in BS_VARIANT_NAMES:
+        for style in ("table", "scalar"):
+            for threads in dict.fromkeys(_THREADS):
+                for system in ("monetdb-like", "horsepower"):
+                    yield (variant, style, threads, system)
+
+
+@pytest.mark.parametrize("variant,style,threads,system",
+                         list(_configurations()))
+def test_table4(benchmark, variant, style, threads, system):
+    hp, mdb = make_bs_systems()
+    queries = TABLE_QUERIES if style == "table" else SCALAR_QUERIES
+    sql = queries[variant]
+    if system == "horsepower":
+        compiled = hp.compile_sql(sql)
+        run = lambda: compiled.run(n_threads=threads)  # noqa: E731
+        benchmark.extra_info.update(
+            compile_seconds=compiled.compile_seconds)
+    else:
+        plan = mdb.plan_sql(sql)
+        run = lambda: mdb.executor.execute(  # noqa: E731
+            plan, n_threads=threads)
+    benchmark.extra_info.update(table="table4", variant=variant,
+                                style=style, threads=threads,
+                                system=system)
+    result = benchmark.pedantic(run, rounds=3, iterations=1,
+                                warmup_rounds=1)
+    assert result is not None

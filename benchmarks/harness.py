@@ -1,0 +1,113 @@
+"""Shared benchmark infrastructure.
+
+Scaling: the paper's testbed is a 40-core Xeon with SF-1 TPC-H (≈6 M
+lineitem rows) and 1M–8M element arrays.  Benchmarks here default to a
+laptop/CI-friendly scale and honour two environment variables:
+
+* ``REPRO_BENCH_SCALE`` — multiplier on every workload size (default 1.0;
+  10 approximates the paper's sizes);
+* ``REPRO_BENCH_THREADS`` — comma-separated thread counts for the sweep
+  columns (default ``1,2,4``; the paper uses up to 64).
+
+Every benchmark records ``extra_info`` (system, workload, threads) so the
+pytest-benchmark JSON can be post-processed into paper-style tables;
+``benchmarks/report.py`` prints those tables directly.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.data.blackscholes import load_blackscholes_table
+from repro.data.tpch import generate_tpch
+from repro.engine.storage import Database
+from repro.horsepower import HorsePowerSystem, MonetDBLike
+from repro.sql.udf import UDFRegistry
+from repro.workloads.bs_queries import register_bs_udfs
+from repro.workloads.tpch_queries import register_tpch_udfs
+
+__all__ = ["bench_scale", "thread_counts", "make_tpch_systems",
+           "make_bs_systems", "time_callable", "Timed"]
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def _default_threads() -> str:
+    cpus = os.cpu_count() or 1
+    counts = [1]
+    while counts[-1] * 2 <= cpus:
+        counts.append(counts[-1] * 2)
+    return ",".join(str(c) for c in counts)
+
+
+def thread_counts() -> list[int]:
+    raw = os.environ.get("REPRO_BENCH_THREADS", _default_threads())
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+# Workload sizes at scale 1.0 (paper scale ≈ 10x these).
+TABLE1_SIZES = [100_000, 200_000, 400_000, 800_000]
+TPCH_SCALE_FACTOR = 0.02          # lineitem ≈ 120k rows
+BLACKSCHOLES_ROWS = 400_000
+
+_CACHE: dict = {}
+
+
+def make_tpch_systems() -> tuple[HorsePowerSystem, MonetDBLike]:
+    """Module-cached TPC-H database + both systems with UDFs
+    registered."""
+    key = ("tpch", bench_scale())
+    if key not in _CACHE:
+        db = generate_tpch(
+            scale_factor=TPCH_SCALE_FACTOR * bench_scale())
+        udfs = UDFRegistry()
+        hp = HorsePowerSystem(db, udfs)
+        mdb = MonetDBLike(db, udfs)
+        register_tpch_udfs(hp)
+        _CACHE[key] = (hp, mdb)
+    return _CACHE[key]
+
+
+def make_bs_systems() -> tuple[HorsePowerSystem, MonetDBLike]:
+    key = ("bs", bench_scale())
+    if key not in _CACHE:
+        db = Database()
+        load_blackscholes_table(db, int(BLACKSCHOLES_ROWS
+                                        * bench_scale()))
+        udfs = UDFRegistry()
+        hp = HorsePowerSystem(db, udfs)
+        mdb = MonetDBLike(db, udfs)
+        register_bs_udfs(hp)
+        _CACHE[key] = (hp, mdb)
+    return _CACHE[key]
+
+
+class Timed:
+    """Result of :func:`time_callable`: best-of-N wall time + the value."""
+
+    def __init__(self, seconds: float, value):
+        self.seconds = seconds
+        self.value = value
+
+    @property
+    def millis(self) -> float:
+        return self.seconds * 1000.0
+
+
+def time_callable(fn, *, warmup: int = 1, rounds: int = 3) -> Timed:
+    """Median-of-``rounds`` timing after ``warmup`` calls (the paper
+    averages steady-state runs after warm-up)."""
+    value = None
+    for _ in range(warmup):
+        value = fn()
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        value = fn()
+        times.append(time.perf_counter() - start)
+    return Timed(float(np.median(times)), value)

@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run-sql``        — execute a SQL query against CSV/TPC-H tables on
+  either system (``--system horsepower|monetdb``), print the result;
+* ``compile-sql``    — show the full provenance chain for a query: plan
+  JSON, generated HorseIR (before/after optimization) and fused kernels;
+* ``compile-matlab`` — translate a MATLAB file to HorseIR (and optionally
+  run it on CSV columns);
+* ``gen-tpch``       — write TPC-H tables as ``|``-separated files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core import types as ht
+
+_TYPE_NAMES = {
+    "bool": ht.BOOL, "i64": ht.I64, "i32": ht.I32, "f64": ht.F64,
+    "f32": ht.F32, "str": ht.STR, "sym": ht.SYM, "date": ht.DATE,
+}
+
+
+def _parse_schema(spec: str) -> list[tuple[str, ht.HorseType]]:
+    """``name:type,name:type`` → schema list."""
+    schema = []
+    for part in spec.split(","):
+        name, _, type_name = part.partition(":")
+        if type_name not in _TYPE_NAMES:
+            raise SystemExit(
+                f"unknown column type {type_name!r} in --table schema; "
+                f"use one of {sorted(_TYPE_NAMES)}")
+        schema.append((name.strip(), _TYPE_NAMES[type_name]))
+    return schema
+
+
+def _load_tables(args) -> "Database":
+    from repro.engine.storage import Database
+
+    db = Database()
+    if args.tpch is not None:
+        from repro.data.tpch import generate_tpch
+        generate_tpch(scale_factor=args.tpch, db=db)
+    for spec in args.table or []:
+        try:
+            name, path, schema_spec = spec.split("=", 1)[0], *spec.split(
+                "=", 1)[1].split("@", 1)
+        except ValueError:
+            raise SystemExit(
+                "--table expects NAME=PATH@col:type,col:type") from None
+        db.load_csv(name, path, _parse_schema(schema_spec))
+    return db
+
+
+def _print_table(result, limit: int) -> None:
+    if hasattr(result, "columns"):  # TableValue
+        names = result.column_names
+        arrays = [vec.data for _, vec in result.columns()]
+        total = result.num_rows
+    else:  # ColumnTable
+        names = result.column_names
+        arrays = [result.column(n) for n in names]
+        total = result.num_rows
+    print(" | ".join(f"{n:>18}" for n in names))
+    print("-+-".join("-" * 18 for _ in names))
+    for row in range(min(total, limit)):
+        print(" | ".join(f"{str(a[row]):>18}" for a in arrays))
+    if total > limit:
+        print(f"... ({total} rows total)")
+
+
+def _cmd_run_sql(args) -> int:
+    from repro.horsepower import HorsePowerSystem, MonetDBLike
+
+    db = _load_tables(args)
+    sql = args.query if args.query else sys.stdin.read()
+    if args.system == "monetdb":
+        result = MonetDBLike(db).run_sql(sql, n_threads=args.threads)
+    else:
+        result = HorsePowerSystem(db).run_sql(sql,
+                                              n_threads=args.threads)
+    _print_table(result, args.limit)
+    return 0
+
+
+def _cmd_compile_sql(args) -> int:
+    from repro.core.printer import print_module
+    from repro.horsepower import HorsePowerSystem
+
+    db = _load_tables(args)
+    sql = args.query if args.query else sys.stdin.read()
+    hp = HorsePowerSystem(db)
+    compiled = hp.compile_sql(sql)
+    print("-- logical plan (JSON) " + "-" * 40)
+    print(json.dumps(compiled.plan_json, indent=2))
+    print("-- HorseIR before optimization " + "-" * 32)
+    print(print_module(compiled.module_before_opt))
+    print("-- HorseIR after optimization " + "-" * 33)
+    print(print_module(compiled.program.module))
+    for index, source in enumerate(compiled.kernel_sources):
+        print(f"-- fused kernel {index} " + "-" * 44)
+        print(source)
+    print(f"-- compile time: {compiled.compile_seconds * 1000:.1f} ms")
+    return 0
+
+
+def _cmd_compile_matlab(args) -> int:
+    from repro.core.printer import print_module
+    from repro.matlang import matlab_to_module
+
+    with open(args.file) as handle:
+        source = handle.read()
+    specs = None
+    if args.params:
+        specs = [spec.strip() for spec in args.params.split(",")]
+    module = matlab_to_module(source, specs)
+    print(print_module(module))
+    return 0
+
+
+def _cmd_gen_tpch(args) -> int:
+    from repro.data.tpch import generate_tpch
+    import os
+
+    db = generate_tpch(scale_factor=args.scale_factor)
+    os.makedirs(args.out, exist_ok=True)
+    for name in db.table_names():
+        path = os.path.join(args.out, f"{name}.tbl")
+        db.save_csv(name, path)
+        print(f"wrote {path} ({db.table(name).num_rows} rows)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_table_args(sub):
+        sub.add_argument("--table", action="append", metavar=
+                         "NAME=PATH@col:type,...",
+                         help="load a |-separated file as a table")
+        sub.add_argument("--tpch", type=float, metavar="SF",
+                         help="generate TPC-H tables at this scale "
+                              "factor")
+
+    run_sql = commands.add_parser("run-sql",
+                                  help="execute a SQL query")
+    add_table_args(run_sql)
+    run_sql.add_argument("query", nargs="?",
+                         help="SQL text (reads stdin when omitted)")
+    run_sql.add_argument("--system", choices=("horsepower", "monetdb"),
+                         default="horsepower")
+    run_sql.add_argument("--threads", type=int, default=1)
+    run_sql.add_argument("--limit", type=int, default=20,
+                         help="max rows to print")
+    run_sql.set_defaults(fn=_cmd_run_sql)
+
+    compile_sql = commands.add_parser(
+        "compile-sql", help="show plan, HorseIR and fused kernels")
+    add_table_args(compile_sql)
+    compile_sql.add_argument("query", nargs="?")
+    compile_sql.set_defaults(fn=_cmd_compile_sql)
+
+    compile_matlab = commands.add_parser(
+        "compile-matlab", help="translate a MATLAB file to HorseIR")
+    compile_matlab.add_argument("file")
+    compile_matlab.add_argument(
+        "--params", help="comma-separated entry parameter types, "
+                         "e.g. f64,f64,str")
+    compile_matlab.set_defaults(fn=_cmd_compile_matlab)
+
+    gen_tpch = commands.add_parser("gen-tpch",
+                                   help="write TPC-H .tbl files")
+    gen_tpch.add_argument("--scale-factor", type=float, default=0.01)
+    gen_tpch.add_argument("--out", default="tpch-data")
+    gen_tpch.set_defaults(fn=_cmd_gen_tpch)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""HorseIR core: the paper's primary contribution.
+
+Exports the pieces most users need; the submodules hold the full surface:
+
+* :mod:`repro.core.types` / :mod:`repro.core.values` — type system and
+  runtime values;
+* :mod:`repro.core.ir` — IR nodes; :mod:`repro.core.parser` /
+  :mod:`repro.core.printer` — textual form;
+* :mod:`repro.core.builtins` — the vector built-in library;
+* :mod:`repro.core.interp` — reference interpreter (HorsePower-Naive);
+* :mod:`repro.core.optimizer` — inlining, slicing, fusion, patterns;
+* :mod:`repro.core.codegen` / :mod:`repro.core.compiler` — fused-kernel
+  code generation and the compiled executable (HorsePower-Opt).
+"""
+
+from repro.core.types import (  # noqa: F401
+    BOOL, DATE, F32, F64, I8, I16, I32, I64, STR, SYM, TABLE, WILDCARD,
+    HorseType, list_of, make_type, parse_type,
+)
+from repro.core.values import (  # noqa: F401
+    ListValue, TableValue, Value, Vector, from_numpy, scalar, vector,
+)
+
+__all__ = [
+    "BOOL", "DATE", "F32", "F64", "I8", "I16", "I32", "I64", "STR", "SYM",
+    "TABLE", "WILDCARD", "HorseType", "list_of", "make_type", "parse_type",
+    "ListValue", "TableValue", "Value", "Vector", "from_numpy", "scalar",
+    "vector",
+]

@@ -1,0 +1,1001 @@
+"""The HorseIR built-in function library.
+
+Every database operator and every MATLAB array operation the frontends emit
+maps to one of these built-ins.  Each built-in carries:
+
+* ``kind`` — its *fusion trait*, which drives the loop-fusion optimizer:
+
+  - ``elementwise``: output element ``i`` depends only on input elements
+    ``i`` (broadcasting scalars).  Freely fusable.
+  - ``reduction``: folds a vector to a scalar; fusable as the *tail* of a
+    segment (the paper's ``@sum`` in Figure 3).
+  - ``compress``: boolean selection; fusable (becomes a mask inside the
+    generated loop).
+  - ``scan``: prefix computation (``@cumsum``); vectorized but executed as a
+    single call because chunks carry state.
+  - ``opaque``: group/join/sort/table constructors — executed as one
+    vectorized call, never fused.
+  - ``source``: reads state from the execution context (``@load_table``).
+
+* ``infer`` — result-type inference from argument types;
+* ``run`` — vectorized NumPy evaluation (used by the reference interpreter,
+  i.e. HorsePower-Naive, and by opaque statements in compiled code);
+* ``template`` — for fusable built-ins, a Python/NumPy source template used
+  by the code generator, e.g. ``"({0} >= {1})"`` for ``@geq``;
+* ``combine`` — for reductions, how chunk partials merge under the
+  multi-threaded executor (``sum``/``min``/``max``/``any``/``all``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core import types as ht
+from repro.core.values import ListValue, TableValue, Value, Vector, scalar
+from repro.errors import BuiltinError
+
+__all__ = ["Builtin", "EvalContext", "BUILTINS", "get", "exists"]
+
+
+class EvalContext:
+    """Runtime context for builtin evaluation.
+
+    ``tables`` maps table names to :class:`TableValue`; ``@load_table``
+    resolves against it.  The interpreter and the compiled executor both
+    thread one of these through evaluation.
+    """
+
+    def __init__(self, tables: dict[str, TableValue] | None = None):
+        self.tables = dict(tables or {})
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """Metadata + implementation for one HorseIR built-in function."""
+
+    name: str
+    kind: str
+    arity: int | None
+    infer: Callable[[list[ht.HorseType]], ht.HorseType]
+    run: Callable[[list[Value], EvalContext], Value]
+    template: str | None = None
+    combine: str | None = None
+    #: NumPy ufunc spelling ("np.add") when the op maps to a ufunc with
+    #: ``out=`` support; the code generator uses it to write results into
+    #: reused per-chunk buffers instead of allocating a fresh temporary
+    #: per statement.
+    ufunc: str | None = None
+    #: C expression template for the native backend (the paper's emitted
+    #: C); None means segments containing this op fall back to the
+    #: Python-kernel backend.
+    c_template: str | None = None
+    #: argument positions that receive a *whole* value rather than one
+    #: element per row (e.g. @member's candidate pool, @like's pattern);
+    #: fused kernels must not slice these per chunk.
+    broadcast_args: tuple = ()
+
+    @property
+    def is_pure(self) -> bool:
+        """True when re-evaluating is safe (everything except sources)."""
+        return self.kind != "source"
+
+    @property
+    def is_fusable(self) -> bool:
+        return self.kind in ("elementwise", "compress", "reduction")
+
+
+BUILTINS: dict[str, Builtin] = {}
+
+
+def get(name: str) -> Builtin:
+    try:
+        return BUILTINS[name]
+    except KeyError:
+        raise BuiltinError(f"unknown builtin @{name}") from None
+
+
+def exists(name: str) -> bool:
+    return name in BUILTINS
+
+
+def _register(builtin: Builtin) -> None:
+    if builtin.name in BUILTINS:
+        raise BuiltinError(f"duplicate builtin @{builtin.name}")
+    BUILTINS[builtin.name] = builtin
+
+
+def _expect_arity(name: str, args: Sequence, arity: int) -> None:
+    if len(args) != arity:
+        raise BuiltinError(
+            f"@{name} expects {arity} argument(s), got {len(args)}")
+
+
+def _as_vector(name: str, value: Value) -> Vector:
+    if not isinstance(value, Vector):
+        raise BuiltinError(
+            f"@{name} expects a vector argument, got {type(value).__name__}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Type-inference helpers
+# ---------------------------------------------------------------------------
+
+def _infer_promote(arg_types: list[ht.HorseType]) -> ht.HorseType:
+    result = arg_types[0]
+    for t in arg_types[1:]:
+        if result.is_wildcard or t.is_wildcard:
+            return ht.WILDCARD
+        result = ht.promote(result, t)
+    return result
+
+
+def _infer_bool(_: list[ht.HorseType]) -> ht.HorseType:
+    return ht.BOOL
+
+
+def _infer_f64(_: list[ht.HorseType]) -> ht.HorseType:
+    return ht.F64
+
+
+def _infer_i64(_: list[ht.HorseType]) -> ht.HorseType:
+    return ht.I64
+
+
+def _infer_first(arg_types: list[ht.HorseType]) -> ht.HorseType:
+    return arg_types[0]
+
+
+def _infer_second(arg_types: list[ht.HorseType]) -> ht.HorseType:
+    return arg_types[1]
+
+
+def _infer_sum(arg_types: list[ht.HorseType]) -> ht.HorseType:
+    t = arg_types[0]
+    if t.is_wildcard:
+        return ht.WILDCARD
+    if ht.is_float(t):
+        return t
+    return ht.I64
+
+
+def _infer_table(_: list[ht.HorseType]) -> ht.HorseType:
+    return ht.TABLE
+
+
+def _infer_list(arg_types: list[ht.HorseType]) -> ht.HorseType:
+    kinds = set(arg_types)
+    if len(kinds) == 1:
+        return ht.list_of(arg_types[0])
+    return ht.list_of(ht.WILDCARD)
+
+
+def _infer_wild(_: list[ht.HorseType]) -> ht.HorseType:
+    return ht.WILDCARD
+
+
+# ---------------------------------------------------------------------------
+# Elementwise builtins
+# ---------------------------------------------------------------------------
+
+def _make_elementwise(name: str, arity: int, fn, infer, template: str,
+                      broadcast_args: tuple = (),
+                      ufunc: str | None = None,
+                      c_template: str | None = None) -> None:
+    def run(args: list[Value], _: EvalContext) -> Value:
+        _expect_arity(name, args, arity)
+        # Length-one vectors broadcast as true scalars: NumPy's scalar
+        # fast paths make this measurably cheaper than 1-element arrays.
+        arrays = [
+            vec.data if len(vec.data) != 1 else vec.data[0]
+            for vec in (_as_vector(name, a) for a in args)
+        ]
+        try:
+            result = fn(*arrays)
+        except (TypeError, ValueError) as exc:
+            raise BuiltinError(f"@{name} failed: {exc}") from exc
+        result = np.asarray(result)
+        if result.ndim == 0:
+            result = result.reshape(1)
+        arg_types = [a.type for a in args]
+        out_type = infer(arg_types)
+        if out_type.is_wildcard:
+            out_type = ht.type_of_dtype(result.dtype)
+        return Vector(out_type, result.astype(ht.numpy_dtype(out_type),
+                                              copy=False))
+
+    _register(Builtin(name, "elementwise", arity, infer, run,
+                      template=template, broadcast_args=broadcast_args,
+                      ufunc=ufunc, c_template=c_template))
+
+
+def _object_aware(op):
+    """Wrap a NumPy ufunc so comparisons on object (string) arrays work."""
+    def apply(a, b):
+        return op(a, b)
+    return apply
+
+
+_make_elementwise("add", 2, np.add, _infer_promote, "({0} + {1})", ufunc="np.add",
+                  c_template='({0} + {1})')
+_make_elementwise("sub", 2, np.subtract, _infer_promote, "({0} - {1})", ufunc="np.subtract",
+                  c_template='({0} - {1})')
+_make_elementwise("mul", 2, np.multiply, _infer_promote, "({0} * {1})", ufunc="np.multiply",
+                  c_template='({0} * {1})')
+_make_elementwise("div", 2, np.true_divide, _infer_f64, "({0} / {1})", ufunc="np.true_divide",
+                  c_template='((double){0} / (double){1})')
+_make_elementwise("mod", 2, np.mod, _infer_promote, "np.mod({0}, {1})", ufunc="np.mod",
+                  c_template='fmod((double){0}, (double){1})')
+_make_elementwise("power", 2, np.power, _infer_f64, "np.power({0}, {1})", ufunc="np.power",
+                  c_template='pow((double){0}, (double){1})')
+_make_elementwise("neg", 1, np.negative, _infer_first, "(-{0})", ufunc="np.negative",
+                  c_template='(-{0})')
+_make_elementwise("abs", 1, np.abs, _infer_first, "np.abs({0})", ufunc="np.abs",
+                  c_template='fabs((double){0})')
+_make_elementwise("exp", 1, np.exp, _infer_f64, "np.exp({0})", ufunc="np.exp",
+                  c_template='exp((double){0})')
+_make_elementwise("log", 1, np.log, _infer_f64, "np.log({0})", ufunc="np.log",
+                  c_template='log((double){0})')
+_make_elementwise("sqrt", 1, np.sqrt, _infer_f64, "np.sqrt({0})", ufunc="np.sqrt",
+                  c_template='sqrt((double){0})')
+_make_elementwise("floor", 1, np.floor, _infer_first, "np.floor({0})", ufunc="np.floor",
+                  c_template='floor((double){0})')
+_make_elementwise("ceil", 1, np.ceil, _infer_first, "np.ceil({0})", ufunc="np.ceil",
+                  c_template='ceil((double){0})')
+_make_elementwise("round", 1, np.round, _infer_first, "np.round({0})")
+_make_elementwise("sign", 1, np.sign, _infer_first, "np.sign({0})", ufunc="np.sign",
+                  c_template='(({0} > 0) - ({0} < 0))')
+
+_make_elementwise("lt", 2, _object_aware(np.less), _infer_bool,
+                  "({0} < {1})", ufunc="np.less",
+                  c_template='({0} < {1})')
+_make_elementwise("gt", 2, _object_aware(np.greater), _infer_bool,
+                  "({0} > {1})", ufunc="np.greater",
+                  c_template='({0} > {1})')
+_make_elementwise("leq", 2, _object_aware(np.less_equal), _infer_bool,
+                  "({0} <= {1})", ufunc="np.less_equal",
+                  c_template='({0} <= {1})')
+_make_elementwise("geq", 2, _object_aware(np.greater_equal), _infer_bool,
+                  "({0} >= {1})", ufunc="np.greater_equal",
+                  c_template='({0} >= {1})')
+_make_elementwise("eq", 2, _object_aware(np.equal), _infer_bool,
+                  "({0} == {1})", ufunc="np.equal",
+                  c_template='({0} == {1})')
+_make_elementwise("neq", 2, _object_aware(np.not_equal), _infer_bool,
+                  "({0} != {1})", ufunc="np.not_equal",
+                  c_template='({0} != {1})')
+
+_make_elementwise("and", 2, np.logical_and, _infer_bool,
+                  "np.logical_and({0}, {1})", ufunc="np.logical_and",
+                  c_template='({0} && {1})')
+_make_elementwise("or", 2, np.logical_or, _infer_bool,
+                  "np.logical_or({0}, {1})", ufunc="np.logical_or",
+                  c_template='({0} || {1})')
+_make_elementwise("not", 1, np.logical_not, _infer_bool,
+                  "np.logical_not({0})", ufunc="np.logical_not",
+                  c_template='(!{0})')
+_make_elementwise("min2", 2, np.minimum, _infer_promote,
+                  "np.minimum({0}, {1})", ufunc="np.minimum",
+                  c_template='(({0} < {1}) ? {0} : {1})')
+_make_elementwise("max2", 2, np.maximum, _infer_promote,
+                  "np.maximum({0}, {1})", ufunc="np.maximum",
+                  c_template='(({0} > {1}) ? {0} : {1})')
+_make_elementwise("if_else", 3, lambda m, a, b: np.where(m, a, b),
+                  _infer_second, "np.where({0}, {1}, {2})",
+                  c_template='({0} ? {1} : {2})')
+
+
+def _date_part(part: str):
+    def extract(a):
+        years = a.astype("datetime64[Y]")
+        if part == "year":
+            return years.astype(np.int64) + 1970
+        months = a.astype("datetime64[M]")
+        if part == "month":
+            return (months.astype(np.int64) -
+                    years.astype("datetime64[M]").astype(np.int64)) + 1
+        return (a.astype("datetime64[D]").astype(np.int64) -
+                months.astype("datetime64[D]").astype(np.int64)) + 1
+    return extract
+
+
+_make_elementwise("date_year", 1, _date_part("year"), _infer_i64,
+                  "(({0}).astype('datetime64[Y]').astype(np.int64) + 1970)")
+_make_elementwise("date_month", 1, _date_part("month"), _infer_i64, None)
+_make_elementwise("date_day", 1, _date_part("day"), _infer_i64, None)
+
+
+def _date_to_i64(a):
+    return a.astype("datetime64[D]").astype(np.int64)
+
+
+_make_elementwise("date_to_i64", 1, _date_to_i64, _infer_i64,
+                  "({0}).astype('datetime64[D]').astype(np.int64)")
+
+
+# String builtins.  These operate on object arrays; they are elementwise in
+# the fusion sense, but their templates use helper functions bound into the
+# kernel namespace by the code generator.
+
+def _scalar_operand(value):
+    """Unwrap a scalar operand that may arrive as a str or 1-array."""
+    if isinstance(value, str):
+        return value
+    array = np.asarray(value).reshape(-1)
+    if len(array) != 1:
+        return None
+    return array[0]
+
+
+def _np_like(values: np.ndarray, patterns) -> np.ndarray:
+    pattern = _scalar_operand(patterns)
+    if pattern is None:
+        raise BuiltinError("@like expects a scalar pattern")
+    regex = _like_regex(pattern)
+    return np.fromiter((bool(regex.match(v)) for v in values),
+                       dtype=np.bool_, count=len(values))
+
+
+def _like_regex(pattern: str) -> "re.Pattern[str]":
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("".join(out) + r"\Z", re.DOTALL)
+
+
+_make_elementwise("like", 2, _np_like, _infer_bool,
+                  "_like({0}, {1})", broadcast_args=(1,))
+
+
+def _np_startswith(values: np.ndarray, prefixes) -> np.ndarray:
+    prefix = _scalar_operand(prefixes)
+    if prefix is None:
+        raise BuiltinError("@startswith expects a scalar prefix")
+    return np.fromiter((v.startswith(prefix) for v in values),
+                       dtype=np.bool_, count=len(values))
+
+
+_make_elementwise("startswith", 2, _np_startswith, _infer_bool,
+                  "_startswith({0}, {1})", broadcast_args=(1,))
+
+
+def _np_member(values: np.ndarray, candidates) -> np.ndarray:
+    if isinstance(candidates, str):
+        pool = {candidates}
+        candidates = np.array([candidates], dtype=object)
+    else:
+        pool = set(np.asarray(candidates).tolist())
+    if values.dtype == object:
+        return np.fromiter((v in pool for v in values),
+                           dtype=np.bool_, count=len(values))
+    return np.isin(values, candidates)
+
+
+_make_elementwise("member", 2, _np_member, _infer_bool,
+                  "_member({0}, {1})", broadcast_args=(1,))
+
+
+# ---------------------------------------------------------------------------
+# Reductions
+# ---------------------------------------------------------------------------
+
+def _make_reduction(name: str, fn, infer, template: str,
+                    combine: str) -> None:
+    def run(args: list[Value], _: EvalContext) -> Value:
+        _expect_arity(name, args, 1)
+        data = _as_vector(name, args[0]).data
+        out_type = infer([args[0].type])
+        if len(data) == 0:
+            value = _reduction_identity(name, out_type)
+        else:
+            value = fn(data)
+        result = np.empty(1, dtype=ht.numpy_dtype(out_type))
+        result[0] = value
+        return Vector(out_type, result)
+
+    _register(Builtin(name, "reduction", 1, infer, run,
+                      template=template, combine=combine))
+
+
+def _reduction_identity(name: str, out_type: ht.HorseType):
+    if name in ("sum", "count"):
+        return 0
+    if name == "prod":
+        return 1
+    if name == "avg":
+        return float("nan")
+    if name == "any":
+        return False
+    if name == "all":
+        return True
+    raise BuiltinError(f"@{name} of an empty vector")
+
+
+_make_reduction("sum", np.sum, _infer_sum, "np.sum({0})", "sum")
+_make_reduction("prod", np.prod, _infer_sum, "np.prod({0})", "prod")
+_make_reduction("avg", np.mean, _infer_f64, "np.sum({0})", "avg")
+_make_reduction("min", np.min, _infer_first, "np.min({0})", "min")
+_make_reduction("max", np.max, _infer_first, "np.max({0})", "max")
+_make_reduction("count", len, _infer_i64, "np.int64(len({0}))", "sum")
+_make_reduction("any", np.any, _infer_bool, "np.any({0})", "any")
+_make_reduction("all", np.all, _infer_bool, "np.all({0})", "all")
+
+
+# ---------------------------------------------------------------------------
+# Compress / index / scan
+# ---------------------------------------------------------------------------
+
+def _run_compress(args: list[Value], _: EvalContext) -> Value:
+    _expect_arity("compress", args, 2)
+    mask = _as_vector("compress", args[0])
+    data = _as_vector("compress", args[1])
+    if mask.type != ht.BOOL:
+        raise BuiltinError("@compress mask must be bool")
+    if len(mask) != len(data):
+        raise BuiltinError(
+            f"@compress length mismatch: mask {len(mask)}, data {len(data)}")
+    return Vector(data.type, data.data[mask.data])
+
+
+_register(Builtin("compress", "compress", 2, _infer_second, _run_compress))
+
+
+def _run_index(args: list[Value], _: EvalContext) -> Value:
+    _expect_arity("index", args, 2)
+    data = _as_vector("index", args[0])
+    idx = _as_vector("index", args[1])
+    if not ht.is_integer(idx.type):
+        raise BuiltinError("@index indices must be integers")
+    return Vector(data.type, data.data[idx.data])
+
+
+_register(Builtin("index", "opaque", 2, _infer_first, _run_index))
+
+
+def _run_where(args: list[Value], _: EvalContext) -> Value:
+    _expect_arity("where", args, 1)
+    mask = _as_vector("where", args[0])
+    return Vector(ht.I64, np.nonzero(mask.data)[0].astype(np.int64))
+
+
+_register(Builtin("where", "opaque", 1, _infer_i64, _run_where))
+
+
+def _run_cumsum(args: list[Value], _: EvalContext) -> Value:
+    _expect_arity("cumsum", args, 1)
+    data = _as_vector("cumsum", args[0])
+    out_type = _infer_sum([data.type])
+    return Vector(out_type,
+                  np.cumsum(data.data).astype(ht.numpy_dtype(out_type)))
+
+
+_register(Builtin("cumsum", "scan", 1, _infer_sum, _run_cumsum))
+
+
+# ---------------------------------------------------------------------------
+# Vector constructors and reshaping
+# ---------------------------------------------------------------------------
+
+def _run_range(args: list[Value], _: EvalContext) -> Value:
+    _expect_arity("range", args, 1)
+    n = _as_vector("range", args[0]).item()
+    return Vector(ht.I64, np.arange(int(n), dtype=np.int64))
+
+
+_register(Builtin("range", "opaque", 1, _infer_i64, _run_range))
+
+
+def _run_fill(args: list[Value], _: EvalContext) -> Value:
+    _expect_arity("fill", args, 2)
+    n = int(_as_vector("fill", args[0]).item())
+    value = _as_vector("fill", args[1])
+    return Vector(value.type,
+                  np.full(n, value.data[0], dtype=value.data.dtype))
+
+
+_register(Builtin("fill", "opaque", 2, _infer_second, _run_fill))
+
+
+def _run_concat(args: list[Value], _: EvalContext) -> Value:
+    if not args:
+        raise BuiltinError("@concat expects at least one argument")
+    vectors = [_as_vector("concat", a) for a in args]
+    out_type = vectors[0].type
+    for v in vectors[1:]:
+        out_type = ht.unify(out_type, v.type)
+    dtype = ht.numpy_dtype(out_type)
+    return Vector(out_type, np.concatenate(
+        [v.data.astype(dtype, copy=False) for v in vectors]))
+
+
+_register(Builtin("concat", "opaque", None, _infer_first, _run_concat))
+
+
+def _run_len(args: list[Value], _: EvalContext) -> Value:
+    _expect_arity("len", args, 1)
+    value = args[0]
+    if isinstance(value, Vector):
+        return scalar(len(value), ht.I64)
+    if isinstance(value, ListValue):
+        return scalar(len(value), ht.I64)
+    if isinstance(value, TableValue):
+        return scalar(value.num_rows, ht.I64)
+    raise BuiltinError(f"@len of {type(value).__name__}")
+
+
+_register(Builtin("len", "opaque", 1, _infer_i64, _run_len))
+
+
+def _run_reverse(args: list[Value], _: EvalContext) -> Value:
+    _expect_arity("reverse", args, 1)
+    data = _as_vector("reverse", args[0])
+    return Vector(data.type, data.data[::-1].copy())
+
+
+_register(Builtin("reverse", "opaque", 1, _infer_first, _run_reverse))
+
+
+def _run_unique(args: list[Value], _: EvalContext) -> Value:
+    _expect_arity("unique", args, 1)
+    data = _as_vector("unique", args[0])
+    if data.data.dtype == object:
+        seen: dict = {}
+        for item in data.data:
+            seen.setdefault(item, None)
+        out = np.empty(len(seen), dtype=object)
+        for i, item in enumerate(seen):
+            out[i] = item
+        return Vector(data.type, out)
+    _, first = np.unique(data.data, return_index=True)
+    return Vector(data.type, data.data[np.sort(first)])
+
+
+_register(Builtin("unique", "opaque", 1, _infer_first, _run_unique))
+
+
+# ---------------------------------------------------------------------------
+# Database builtins: tables, grouping, joins, ordering
+# ---------------------------------------------------------------------------
+
+def _run_load_table(args: list[Value], ctx: EvalContext) -> Value:
+    _expect_arity("load_table", args, 1)
+    name = _as_vector("load_table", args[0]).item()
+    try:
+        return ctx.tables[name]
+    except KeyError:
+        raise BuiltinError(f"@load_table: unknown table {name!r}") from None
+
+
+_register(Builtin("load_table", "source", 1, _infer_table, _run_load_table))
+
+
+def _run_column_value(args: list[Value], _: EvalContext) -> Value:
+    _expect_arity("column_value", args, 2)
+    table = args[0]
+    if not isinstance(table, TableValue):
+        raise BuiltinError("@column_value expects a table")
+    name = _as_vector("column_value", args[1]).item()
+    return table.column(name)
+
+
+_register(Builtin("column_value", "opaque", 2, _infer_wild,
+                  _run_column_value))
+
+
+def _run_table(args: list[Value], _: EvalContext) -> Value:
+    _expect_arity("table", args, 2)
+    names = _as_vector("table", args[0])
+    columns = args[1]
+    if not isinstance(columns, ListValue):
+        raise BuiltinError("@table expects a list of columns")
+    if len(names) != len(columns):
+        raise BuiltinError(
+            f"@table: {len(names)} names for {len(columns)} columns")
+    return TableValue([(str(name), _as_vector("table", col))
+                       for name, col in zip(names.data, columns)])
+
+
+_register(Builtin("table", "opaque", 2, _infer_table, _run_table))
+
+
+def _run_list(args: list[Value], _: EvalContext) -> Value:
+    return ListValue(list(args))
+
+
+_register(Builtin("list", "opaque", None, _infer_list, _run_list))
+
+
+def _run_list_item(args: list[Value], _: EvalContext) -> Value:
+    _expect_arity("list_item", args, 2)
+    lst = args[0]
+    if not isinstance(lst, ListValue):
+        raise BuiltinError("@list_item expects a list")
+    index = int(_as_vector("list_item", args[1]).item())
+    try:
+        return lst[index]
+    except IndexError:
+        raise BuiltinError(
+            f"@list_item index {index} out of range "
+            f"for list of {len(lst)}") from None
+
+
+_register(Builtin("list_item", "opaque", 2, _infer_wild, _run_list_item))
+
+
+def _factorize(data: np.ndarray) -> tuple[np.ndarray, int]:
+    """Dense codes for one column.
+
+    Object (string) columns use a hash-based pass — ``np.unique`` would
+    sort with per-element Python comparisons, which dominates group-by on
+    TPC-H's categorical strings.  Numeric columns use ``np.unique``.
+    """
+    if data.dtype == object:
+        try:
+            # Fixed-width unicode re-encoding lets np.unique run its
+            # C-level sort instead of per-element Python comparisons —
+            # the dictionary-encoded grouping a real column store gets
+            # for free.
+            fixed = np.asarray(data, dtype=np.str_)
+        except (TypeError, ValueError):
+            fixed = None
+        if fixed is not None:
+            _, inverse = np.unique(fixed, return_inverse=True)
+            cardinality = int(inverse.max()) + 1 if len(inverse) else 0
+            return inverse.astype(np.int64), cardinality
+        seen: dict = {}
+        codes = np.empty(len(data), dtype=np.int64)
+        for index, value in enumerate(data):
+            code = seen.get(value)
+            if code is None:
+                code = len(seen)
+                seen[value] = code
+            codes[index] = code
+        return codes, len(seen)
+    _, inverse = np.unique(data, return_inverse=True)
+    cardinality = int(inverse.max()) + 1 if len(inverse) else 0
+    return inverse.astype(np.int64), cardinality
+
+
+def _group_codes(keys: list[Vector]) -> tuple[np.ndarray, np.ndarray]:
+    """Factorize one or more key columns.
+
+    Returns ``(codes, first_index)`` where ``codes[i]`` is the dense group
+    id of row ``i`` (group ids ordered by first appearance) and
+    ``first_index[g]`` is the row index where group ``g`` first appears.
+    """
+    n = len(keys[0])
+    if n == 0:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    if len(keys) == 1 and keys[0].data.dtype != object:
+        combined = keys[0].data
+    else:
+        # Combine per-column dense codes into one composite integer key.
+        combined = np.zeros(n, dtype=np.int64)
+        for key in keys:
+            codes, cardinality = _factorize(key.data)
+            combined = combined * max(cardinality, 1) + codes
+            if cardinality and len(combined) and \
+                    combined.max() > (1 << 55):
+                # Keep composite keys dense to avoid int64 overflow.
+                combined, _ = _factorize(combined)
+    _, first, inverse = np.unique(combined, return_index=True,
+                                  return_inverse=True)
+    # Re-number groups by first appearance (np.unique sorts by value).
+    order = np.argsort(first, kind="stable")
+    remap = np.empty(len(order), dtype=np.int64)
+    remap[order] = np.arange(len(order))
+    return (remap[inverse].astype(np.int64),
+            first[order].astype(np.int64))
+
+
+def _group_keys(args: list[Value]) -> list[Vector]:
+    keys: list[Vector] = []
+    for arg in args:
+        if isinstance(arg, ListValue):
+            keys.extend(_as_vector("group", item) for item in arg)
+        else:
+            keys.append(_as_vector("group", arg))
+    if not keys:
+        raise BuiltinError("@group expects at least one key column")
+    return keys
+
+
+def _run_group(args: list[Value], _: EvalContext) -> Value:
+    """``@group(keys...) -> list(first_index, codes)``.
+
+    ``first_index`` selects one representative row per distinct key (in
+    first-appearance order); ``codes`` assigns each row its group id.
+    """
+    keys = _group_keys(args)
+    codes, first = _group_codes(keys)
+    return ListValue([Vector(ht.I64, first), Vector(ht.I64, codes)])
+
+
+_register(Builtin("group", "opaque", None,
+                  lambda _: ht.list_of(ht.I64), _run_group))
+
+
+def _segmented(name: str, fn_dense, fn_sparse=None):
+    def run(args: list[Value], _: EvalContext) -> Value:
+        _expect_arity(name, args, 3)
+        values = _as_vector(name, args[0])
+        codes = _as_vector(name, args[1]).data
+        ngroups = int(_as_vector(name, args[2]).item())
+        return fn_dense(values, codes, ngroups)
+    return run
+
+
+def _group_sum_impl(values: Vector, codes: np.ndarray,
+                    ngroups: int) -> Vector:
+    out_type = _infer_sum([values.type])
+    data = values.data
+    if data.dtype == np.bool_ or data.dtype.kind in ("i", "u"):
+        data = data.astype(np.int64)
+    result = np.bincount(codes, weights=data.astype(np.float64),
+                         minlength=ngroups)
+    return Vector(out_type, result.astype(ht.numpy_dtype(out_type)))
+
+
+def _group_count_impl(values: Vector, codes: np.ndarray,
+                      ngroups: int) -> Vector:
+    result = np.bincount(codes, minlength=ngroups)
+    return Vector(ht.I64, result.astype(np.int64))
+
+
+def _group_avg_impl(values: Vector, codes: np.ndarray,
+                    ngroups: int) -> Vector:
+    sums = np.bincount(codes, weights=values.data.astype(np.float64),
+                       minlength=ngroups)
+    counts = np.bincount(codes, minlength=ngroups)
+    with np.errstate(invalid="ignore"):
+        return Vector(ht.F64, sums / counts)
+
+
+def _group_extreme(ufunc):
+    def impl(values: Vector, codes: np.ndarray, ngroups: int) -> Vector:
+        data = values.data
+        if data.dtype == object:
+            raise BuiltinError("group min/max of string columns unsupported")
+        init = _dtype_extreme(data.dtype, high=(ufunc is np.minimum))
+        out = np.full(ngroups, init, dtype=data.dtype)
+        ufunc.at(out, codes, data)
+        return Vector(values.type, out)
+    return impl
+
+
+def _dtype_extreme(dtype: np.dtype, *, high: bool):
+    if dtype.kind == "f":
+        return np.inf if high else -np.inf
+    if dtype.kind == "M":
+        return (np.datetime64("9999-12-31") if high
+                else np.datetime64("0001-01-01"))
+    info = np.iinfo(dtype)
+    return info.max if high else info.min
+
+
+_register(Builtin("group_sum", "opaque", 3, _infer_sum,
+                  _segmented("group_sum", _group_sum_impl)))
+_register(Builtin("group_count", "opaque", 3, _infer_i64,
+                  _segmented("group_count", _group_count_impl)))
+_register(Builtin("group_avg", "opaque", 3, _infer_f64,
+                  _segmented("group_avg", _group_avg_impl)))
+_register(Builtin("group_min", "opaque", 3, _infer_first,
+                  _segmented("group_min", _group_extreme(np.minimum))))
+_register(Builtin("group_max", "opaque", 3, _infer_first,
+                  _segmented("group_max", _group_extreme(np.maximum))))
+
+
+def _join_keys(value: Value) -> list[Vector]:
+    if isinstance(value, ListValue):
+        return [_as_vector("join_index", item) for item in value]
+    return [_as_vector("join_index", value)]
+
+
+def _run_join_index(args: list[Value], _: EvalContext) -> Value:
+    """``@join_index(left_keys, right_keys, kind) -> list(lidx, ridx)``.
+
+    ``kind`` is a symbol: ``inner`` or ``left``.  A hash join: build on the
+    right input, probe with the left.  Left-outer probes that miss emit a
+    right index of ``-1`` (callers pad with null surrogates).
+    """
+    _expect_arity("join_index", args, 3)
+    left = _join_keys(args[0])
+    right = _join_keys(args[1])
+    kind = _as_vector("join_index", args[2]).item()
+    if kind not in ("inner", "left"):
+        raise BuiltinError(f"@join_index: unsupported kind {kind!r}")
+    if len(left) != len(right):
+        raise BuiltinError("@join_index: key column count mismatch")
+
+    if len(left) == 1 and left[0].data.dtype != object:
+        lidx, ridx = _join_single_numeric(left[0].data, right[0].data, kind)
+    else:
+        lidx, ridx = _join_generic(left, right, kind)
+    return ListValue([Vector(ht.I64, lidx), Vector(ht.I64, ridx)])
+
+
+def _join_single_numeric(left: np.ndarray, right: np.ndarray,
+                         kind: str) -> tuple[np.ndarray, np.ndarray]:
+    order = np.argsort(right, kind="stable")
+    sorted_right = right[order]
+    lo = np.searchsorted(sorted_right, left, side="left")
+    hi = np.searchsorted(sorted_right, left, side="right")
+    counts = hi - lo
+    lidx = np.repeat(np.arange(len(left), dtype=np.int64), counts)
+    offsets = np.repeat(hi - np.cumsum(counts), counts)
+    ridx = order[np.arange(len(lidx), dtype=np.int64) + offsets]
+    if kind == "left":
+        misses = np.nonzero(counts == 0)[0].astype(np.int64)
+        if len(misses):
+            lidx = np.concatenate([lidx, misses])
+            ridx = np.concatenate(
+                [ridx, np.full(len(misses), -1, dtype=np.int64)])
+            resort = np.argsort(lidx, kind="stable")
+            lidx, ridx = lidx[resort], ridx[resort]
+    return lidx.astype(np.int64), ridx.astype(np.int64)
+
+
+def _join_generic(left: list[Vector], right: list[Vector],
+                  kind: str) -> tuple[np.ndarray, np.ndarray]:
+    build: dict = {}
+    right_cols = [v.data for v in right]
+    for i in range(len(right_cols[0])):
+        key = tuple(col[i] for col in right_cols)
+        build.setdefault(key, []).append(i)
+    lidx: list[int] = []
+    ridx: list[int] = []
+    left_cols = [v.data for v in left]
+    for i in range(len(left_cols[0])):
+        key = tuple(col[i] for col in left_cols)
+        matches = build.get(key)
+        if matches:
+            lidx.extend([i] * len(matches))
+            ridx.extend(matches)
+        elif kind == "left":
+            lidx.append(i)
+            ridx.append(-1)
+    return (np.asarray(lidx, dtype=np.int64),
+            np.asarray(ridx, dtype=np.int64))
+
+
+_register(Builtin("join_index", "opaque", 3,
+                  lambda _: ht.list_of(ht.I64), _run_join_index))
+
+
+def _run_order(args: list[Value], _: EvalContext) -> Value:
+    """``@order(keys, ascending) -> i64`` sort permutation (stable).
+
+    ``keys`` is a vector or a list of vectors (major key first);
+    ``ascending`` is a bool vector with one flag per key.
+    """
+    _expect_arity("order", args, 2)
+    keys = _join_keys(args[0])
+    ascending = _as_vector("order", args[1]).data
+    if len(ascending) != len(keys):
+        raise BuiltinError("@order: one ascending flag per key required")
+    columns = []
+    # np.lexsort sorts by the *last* key first, so feed minor-to-major.
+    for key, asc in zip(reversed(keys), reversed(ascending.tolist())):
+        data = key.data
+        if data.dtype == object:
+            ranks = _string_ranks(data)
+            columns.append(ranks if asc else -ranks)
+        elif data.dtype.kind == "M":
+            as_int = data.astype(np.int64)
+            columns.append(as_int if asc else -as_int)
+        else:
+            columns.append(data if asc else -data.astype(np.float64))
+    return Vector(ht.I64, np.lexsort(columns).astype(np.int64))
+
+
+def _string_ranks(data: np.ndarray) -> np.ndarray:
+    unique_sorted = sorted(set(data.tolist()))
+    rank = {value: i for i, value in enumerate(unique_sorted)}
+    return np.fromiter((rank[v] for v in data), dtype=np.int64,
+                       count=len(data))
+
+
+_register(Builtin("order", "opaque", 2, _infer_i64, _run_order))
+
+
+def _run_take(args: list[Value], _: EvalContext) -> Value:
+    _expect_arity("take", args, 2)
+    data = _as_vector("take", args[0])
+    n = int(_as_vector("take", args[1]).item())
+    return Vector(data.type, data.data[:n].copy())
+
+
+_register(Builtin("take", "opaque", 2, _infer_first, _run_take))
+
+
+# ---------------------------------------------------------------------------
+# Pattern-fusion targets (installed by the optimizer's pattern pass)
+# ---------------------------------------------------------------------------
+
+def _run_sum_masked(args: list[Value], _: EvalContext) -> Value:
+    """``@sum_masked(mask, x)`` == ``@sum(@compress(mask, x))``.
+
+    Evaluated as one multiply-add pass (a dot product against the mask) for
+    float data — the template the paper's pattern-based fusion would emit.
+    """
+    _expect_arity("sum_masked", args, 2)
+    mask = _as_vector("sum_masked", args[0])
+    data = _as_vector("sum_masked", args[1])
+    if mask.type != ht.BOOL:
+        raise BuiltinError("@sum_masked mask must be bool")
+    if len(mask) != len(data):
+        raise BuiltinError("@sum_masked length mismatch")
+    out_type = _infer_sum([data.type])
+    if data.data.dtype.kind == "f":
+        # Zero masked-out lanes *before* the multiply-add: 0 * NaN would
+        # otherwise leak NaN/inf from deselected rows into the total.
+        value = np.dot(mask.data.astype(data.data.dtype),
+                       np.where(mask.data, data.data, 0.0))
+    else:
+        value = data.data[mask.data].sum()
+    result = np.empty(1, dtype=ht.numpy_dtype(out_type))
+    result[0] = value
+    return Vector(out_type, result)
+
+
+_register(Builtin("sum_masked", "opaque", 2,
+                  lambda ts: _infer_sum([ts[1]]), _run_sum_masked))
+
+
+def _run_dot_masked(args: list[Value], _: EvalContext) -> Value:
+    """``@dot_masked(mask, x, y)`` ==
+    ``@sum(@mul(@compress(mask, x), @compress(mask, y)))``.
+
+    One fused pass: no compressed operands are materialized (Figure 3).
+    """
+    _expect_arity("dot_masked", args, 3)
+    mask = _as_vector("dot_masked", args[0])
+    x = _as_vector("dot_masked", args[1])
+    y = _as_vector("dot_masked", args[2])
+    if mask.type != ht.BOOL:
+        raise BuiltinError("@dot_masked mask must be bool")
+    if not (len(mask) == len(x) == len(y)):
+        raise BuiltinError("@dot_masked length mismatch")
+    out_type = _infer_sum([ht.promote(x.type, y.type)])
+    # Zero both operands in masked-out lanes: either side may hold
+    # NaN/inf there, and 0 * NaN is NaN.
+    value = np.dot(np.where(mask.data, x.data, 0),
+                   np.where(mask.data, y.data, 0))
+    result = np.empty(1, dtype=ht.numpy_dtype(out_type))
+    result[0] = value
+    return Vector(out_type, result)
+
+
+_register(Builtin("dot_masked", "opaque", 3,
+                  lambda ts: _infer_sum([_infer_promote(ts[1:])]),
+                  _run_dot_masked))
+
+
+def _run_subseq(args: list[Value], _: EvalContext) -> Value:
+    """``@subseq(x, a, b)`` — the 1-based inclusive slice ``x(a:b)``.
+
+    The pattern-lowered form of indexing with a unit-step range: returns a
+    zero-copy view, the way compiled code would fold ``A(a:b)`` into
+    pointer arithmetic instead of a gather.
+    """
+    _expect_arity("subseq", args, 3)
+    data = _as_vector("subseq", args[0])
+    start = int(round(float(_as_vector("subseq", args[1]).item())))
+    stop = int(round(float(_as_vector("subseq", args[2]).item())))
+    if start < 1 or stop > len(data):
+        raise BuiltinError(
+            f"@subseq bounds {start}:{stop} out of range for "
+            f"length {len(data)}")
+    return Vector(data.type, data.data[start - 1:stop])
+
+
+_register(Builtin("subseq", "opaque", 3, _infer_first, _run_subseq))

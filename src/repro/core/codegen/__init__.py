@@ -1,0 +1,9 @@
+"""Fused-kernel code generation and the chunked parallel executor.
+
+This is the reproduction's analog of the paper's HorseIR→C backend with
+OpenMP: each fused segment becomes one generated Python function evaluating
+the whole chain per chunk (no full-column intermediates), and the executor
+runs chunks across a thread pool (NumPy releases the GIL inside array ops).
+"""
+
+from repro.core.codegen.pygen import CompiledKernel, generate_kernel  # noqa: F401

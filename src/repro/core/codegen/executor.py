@@ -1,0 +1,150 @@
+"""Chunked, multi-threaded execution of fused kernels.
+
+The reproduction's stand-in for the paper's OpenMP parallel loops: the base
+iteration space is split into chunks, the fused kernel runs per chunk (its
+temporaries are chunk-sized, so the chain stays cache-resident), chunks are
+dispatched to a thread pool (NumPy array ops release the GIL), and vector
+outputs are concatenated in chunk order while reduction partials merge with
+the builtin's ``combine`` rule.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core import types as ht
+from repro.core.codegen.pygen import CompiledKernel
+from repro.core.values import Vector
+from repro.errors import HorseRuntimeError
+
+__all__ = ["run_kernel", "DEFAULT_CHUNK_SIZE"]
+
+#: Elements per chunk.  Sized so a handful of f64 temporaries stay
+#: cache-resident (measured sweet spot 8k-32k elements on this class of
+#: kernel; see EXPERIMENTS.md).
+DEFAULT_CHUNK_SIZE = 1 << 15
+
+
+def run_kernel(kernel: CompiledKernel, inputs: list[Vector],
+               n_threads: int = 1,
+               chunk_size: int = DEFAULT_CHUNK_SIZE,
+               pool: ThreadPoolExecutor | None = None) -> list[Vector]:
+    """Execute a fused kernel over its inputs; returns the output vectors
+    in the order of ``kernel.outputs``."""
+    arrays = [value.data for value in inputs]
+    n = _base_length(kernel, arrays)
+
+    if n == 0:
+        return _empty_outputs(kernel, arrays)
+
+    if n <= chunk_size:
+        results = kernel.fn(*arrays)
+        return _wrap_outputs(kernel, list(results))
+
+    bounds = [(lo, min(lo + chunk_size, n))
+              for lo in range(0, n, chunk_size)]
+
+    def run_chunk(bound: tuple[int, int]):
+        lo, hi = bound
+        sliced = [arr[lo:hi] if stream and len(arr) == n else arr
+                  for arr, stream in zip(arrays, kernel.streamed)]
+        return kernel.fn(*sliced)
+
+    if n_threads > 1 and len(bounds) > 1:
+        if pool is not None:
+            chunk_results = list(pool.map(run_chunk, bounds))
+        else:
+            with ThreadPoolExecutor(max_workers=n_threads) as local_pool:
+                chunk_results = list(local_pool.map(run_chunk, bounds))
+    else:
+        chunk_results = [run_chunk(bound) for bound in bounds]
+
+    combined = []
+    for index, (name, role) in enumerate(kernel.outputs):
+        parts = [chunk[index] for chunk in chunk_results]
+        if role == "vector":
+            combined.append(np.concatenate(
+                [np.atleast_1d(np.asarray(p)) for p in parts]))
+        else:
+            combine = role.split(":", 1)[1]
+            combined.append(_combine(combine, parts))
+    return _wrap_outputs(kernel, combined)
+
+
+def _base_length(kernel: CompiledKernel, arrays: list[np.ndarray]) -> int:
+    n = 1
+    for name, arr, stream in zip(kernel.inputs, arrays, kernel.streamed):
+        if stream and len(arr) > 1:
+            if n > 1 and len(arr) != n:
+                raise HorseRuntimeError(
+                    f"fused segment input {name!r} has length {len(arr)}, "
+                    f"expected {n}")
+            n = max(n, len(arr))
+    return n if arrays else 1
+
+
+def _empty_outputs(kernel: CompiledKernel,
+                   arrays: list[np.ndarray]) -> list[Vector]:
+    """All-empty inputs: reductions fold to identities, vectors are empty.
+
+    Running the kernel is unsafe for min/max on empty chunks, so outputs
+    are synthesized from roles and declared types instead.
+    """
+    outputs: list[Vector] = []
+    for (name, role), type_ in zip(kernel.outputs, kernel.output_types):
+        dtype = ht.numpy_dtype(type_ if not type_.is_wildcard else ht.F64)
+        if role == "vector":
+            outputs.append(Vector(
+                type_ if not type_.is_wildcard else ht.F64,
+                np.empty(0, dtype=dtype)))
+            continue
+        combine = role.split(":", 1)[1]
+        if combine == "sum":
+            identity = 0
+        elif combine == "prod":
+            identity = 1
+        elif combine == "any":
+            identity = False
+        elif combine == "all":
+            identity = True
+        else:
+            raise HorseRuntimeError(
+                f"@{combine}-style reduction of an empty vector "
+                f"(output {name!r})")
+        out = np.empty(1, dtype=dtype)
+        out[0] = identity
+        outputs.append(Vector(type_ if not type_.is_wildcard else ht.F64,
+                              out))
+    return outputs
+
+
+def _combine(combine: str, parts: list):
+    if combine == "sum":
+        return np.sum(np.asarray(parts))
+    if combine == "prod":
+        return np.prod(np.asarray(parts))
+    if combine == "min":
+        return np.min(np.asarray(parts))
+    if combine == "max":
+        return np.max(np.asarray(parts))
+    if combine == "any":
+        return np.any(np.asarray(parts))
+    if combine == "all":
+        return np.all(np.asarray(parts))
+    raise HorseRuntimeError(f"unknown reduction combine {combine!r}")
+
+
+def _wrap_outputs(kernel: CompiledKernel, results: list) -> list[Vector]:
+    outputs: list[Vector] = []
+    for value, type_ in zip(results, kernel.output_types):
+        array = np.asarray(value)
+        if array.ndim == 0:
+            array = array.reshape(1)
+        if type_.is_wildcard:
+            type_ = ht.type_of_dtype(array.dtype)
+        else:
+            array = array.astype(ht.numpy_dtype(type_), copy=False)
+        outputs.append(Vector(type_, array))
+    return outputs

@@ -1,0 +1,298 @@
+"""The HorsePower compiler: HorseIR module → executable program.
+
+Two optimization levels, matching the paper's configurations:
+
+* ``"naive"`` (HorsePower-Naive): no optimization; every statement executes
+  as an individual vectorized call with full materialization — the same
+  execution profile as a MAL-style interpreter.
+* ``"opt"`` (HorsePower-Opt): the full pipeline — inlining, constant/copy
+  propagation, CSE, backward slicing, pattern-based fusion — followed by
+  automatic loop fusion and kernel code generation.
+
+The compiled program's ``run`` takes ``n_threads``, the reproduction's
+OpenMP analog, and reports compile time (the paper's COMP column).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core import builtins as hb
+from repro.core import ir
+from repro.core import types as ht
+from repro.core.codegen.cgen import CKernel, c_backend_available
+from repro.core.codegen.executor import DEFAULT_CHUNK_SIZE, run_kernel
+from repro.core.codegen.pygen import CompiledKernel, generate_kernel
+from repro.core.optimizer import OptimizeStats, optimize
+from repro.core.optimizer.fusion import (
+    FusedItem, IfItem, OpaqueItem, ReturnItem, WhileItem, segment_method,
+)
+from repro.core.values import ListValue, TableValue, Value, Vector, scalar
+from repro.core.verify import verify_module
+from repro.errors import HorseRuntimeError
+
+__all__ = ["compile_module", "CompiledProgram", "CompileReport"]
+
+_MAX_LOOP_ITERATIONS = 100_000_000
+
+
+@dataclass
+class CompileReport:
+    """Provenance of a compilation (surfaced in benchmarks as COMP time)."""
+
+    opt_level: str
+    compile_seconds: float
+    optimize_stats: OptimizeStats | None
+    backend: str = "python"
+    fused_segments: int = 0
+    fused_statements: int = 0
+    c_eligible_segments: int = 0
+    kernel_sources: list[str] = field(default_factory=list)
+
+
+class _KernelItem:
+    """Plan item: a fused segment with its compiled kernel(s).
+
+    ``c_kernel`` is the native (emitted C + OpenMP) variant; it is tried
+    first under the "c" backend and falls back to the Python kernel when
+    a segment or a runtime dtype signature is ineligible.
+    """
+
+    __slots__ = ("kernel", "c_kernel")
+
+    def __init__(self, kernel: CompiledKernel,
+                 c_kernel: "CKernel | None" = None):
+        self.kernel = kernel
+        self.c_kernel = c_kernel
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Value):
+        self.value = value
+
+
+class CompiledProgram:
+    """An executable HorseIR program."""
+
+    def __init__(self, module: ir.Module, plans: dict[str, list],
+                 report: CompileReport):
+        self.module = module
+        self._plans = plans
+        self.report = report
+
+    def run(self, tables: dict[str, TableValue] | None = None,
+            args: list[Value] | None = None,
+            method: str | None = None,
+            n_threads: int = 1,
+            chunk_size: int = DEFAULT_CHUNK_SIZE) -> Value:
+        """Execute the entry method (or ``method``) and return its result."""
+        ctx = hb.EvalContext(tables)
+        entry = method if method is not None else self.module.entry.name
+        pool = None
+        try:
+            if n_threads > 1:
+                pool = ThreadPoolExecutor(max_workers=n_threads)
+            state = _RunState(self, ctx, n_threads, chunk_size, pool)
+            return state.call(entry, list(args or []))
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False)
+
+    @property
+    def kernel_sources(self) -> list[str]:
+        """Generated kernel code, for inspection (Figure 3 analog)."""
+        return list(self.report.kernel_sources)
+
+
+class _RunState:
+    """Per-run execution state: context, threading, method dispatch."""
+
+    def __init__(self, program: CompiledProgram, ctx: hb.EvalContext,
+                 n_threads: int, chunk_size: int, pool):
+        self.program = program
+        self.ctx = ctx
+        self.n_threads = n_threads
+        self.chunk_size = chunk_size
+        self.pool = pool
+
+    def call(self, method_name: str, args: list[Value]) -> Value:
+        try:
+            method = self.program.module.methods[method_name]
+        except KeyError:
+            raise HorseRuntimeError(
+                f"no method {method_name!r} in compiled module") from None
+        if len(args) != len(method.params):
+            raise HorseRuntimeError(
+                f"method {method_name!r} expects {len(method.params)} "
+                f"argument(s), got {len(args)}")
+        env: dict[str, Value] = {
+            param.name: value
+            for param, value in zip(method.params, args)
+        }
+        plan = self.program._plans[method_name]
+        try:
+            self._exec_plan(plan, env)
+        except _ReturnSignal as signal:
+            return signal.value
+        raise HorseRuntimeError(
+            f"method {method_name!r} finished without returning")
+
+    # -- plan execution ------------------------------------------------------
+
+    def _exec_plan(self, plan: list, env: dict[str, Value]) -> None:
+        for item in plan:
+            if isinstance(item, _KernelItem):
+                self._exec_kernel_item(item, env)
+            elif isinstance(item, OpaqueItem):
+                stmt = item.stmt
+                env[stmt.target] = _coerce(self._eval(stmt.expr, env),
+                                           stmt.type)
+            elif isinstance(item, ReturnItem):
+                raise _ReturnSignal(self._eval(item.expr, env))
+            elif isinstance(item, IfItem):
+                if self._truth(item.cond, env):
+                    self._exec_plan(item.then_plan, env)
+                else:
+                    self._exec_plan(item.else_plan, env)
+            elif isinstance(item, WhileItem):
+                iterations = 0
+                while self._truth(item.cond, env):
+                    self._exec_plan(item.body_plan, env)
+                    iterations += 1
+                    if iterations > _MAX_LOOP_ITERATIONS:
+                        raise HorseRuntimeError(
+                            "while loop exceeded the iteration limit")
+            else:
+                raise HorseRuntimeError(
+                    f"unknown plan item {type(item).__name__}")
+
+    def _exec_kernel_item(self, item: _KernelItem,
+                          env: dict[str, Value]) -> None:
+        kernel = item.kernel
+        inputs = self._gather_inputs(kernel, env)
+        outputs = None
+        if item.c_kernel is not None:
+            outputs = item.c_kernel.try_run(inputs, self.n_threads)
+        if outputs is None:
+            outputs = run_kernel(kernel, inputs,
+                                 n_threads=self.n_threads,
+                                 chunk_size=self.chunk_size,
+                                 pool=self.pool)
+        for (name, _), value in zip(kernel.outputs, outputs):
+            env[name] = value
+
+    def _gather_inputs(self, kernel: CompiledKernel,
+                       env: dict[str, Value]) -> list:
+        inputs = []
+        for name in kernel.inputs:
+            value = env.get(name)
+            if value is None:
+                raise HorseRuntimeError(
+                    f"fused segment input {name!r} is undefined")
+            if not isinstance(value, Vector):
+                raise HorseRuntimeError(
+                    f"fused segment input {name!r} must be a vector, "
+                    f"got {type(value).__name__}")
+            inputs.append(value)
+        return inputs
+
+    def _truth(self, cond: ir.Expr, env: dict[str, Value]) -> bool:
+        value = self._eval(cond, env)
+        if not isinstance(value, Vector) or len(value) != 1:
+            raise HorseRuntimeError(
+                "control-flow conditions must be scalar booleans")
+        return bool(value.item())
+
+    def _eval(self, expr: ir.Expr, env: dict[str, Value]) -> Value:
+        if isinstance(expr, ir.Var):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise HorseRuntimeError(
+                    f"undefined variable {expr.name!r}") from None
+        if isinstance(expr, ir.Literal):
+            return scalar(expr.value, expr.type)
+        if isinstance(expr, ir.SymbolLit):
+            return scalar(expr.name, ht.SYM)
+        if isinstance(expr, ir.Cast):
+            return _coerce(self._eval(expr.expr, env), expr.type)
+        if isinstance(expr, ir.BuiltinCall):
+            builtin = hb.get(expr.name)
+            args = [self._eval(a, env) for a in expr.args]
+            return builtin.run(args, self.ctx)
+        if isinstance(expr, ir.MethodCall):
+            args = [self._eval(a, env) for a in expr.args]
+            return self.call(expr.name, args)
+        raise HorseRuntimeError(
+            f"unknown expression {type(expr).__name__}")
+
+
+def _coerce(value: Value, type_: ht.HorseType) -> Value:
+    if type_.is_wildcard or isinstance(value, (TableValue, ListValue)):
+        return value
+    if isinstance(value, Vector) and not type_.is_list \
+            and not type_.is_table:
+        return value.astype(type_)
+    return value
+
+
+def compile_module(module: ir.Module, opt_level: str = "opt",
+                   entry: str | None = None,
+                   backend: str = "python") -> CompiledProgram:
+    """Compile a HorseIR module at ``opt_level`` (``"naive"`` or
+    ``"opt"``).
+
+    ``backend`` selects the fused-kernel execution engine: ``"python"``
+    (generated NumPy kernels, always available) or ``"c"`` (emitted C +
+    OpenMP via gcc, per-segment with Python fallback)."""
+    if opt_level not in ("naive", "opt"):
+        raise ValueError(f"unknown opt level {opt_level!r}")
+    if backend not in ("python", "c"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if backend == "c" and not c_backend_available():
+        raise ValueError("the C backend needs gcc on PATH")
+    start = time.perf_counter()
+    verify_module(module)
+
+    stats: OptimizeStats | None = None
+    if opt_level == "opt":
+        module, stats = optimize(module, entry=entry)
+        verify_module(module)
+
+    plans: dict[str, list] = {}
+    report = CompileReport(opt_level, 0.0, stats, backend=backend)
+    for name, method in module.methods.items():
+        plan = segment_method(method, enabled=(opt_level == "opt"))
+        plans[name] = _compile_plan(plan, report)
+
+    report.compile_seconds = time.perf_counter() - start
+    return CompiledProgram(module, plans, report)
+
+
+def _compile_plan(plan: list, report: CompileReport) -> list:
+    compiled: list = []
+    for item in plan:
+        if isinstance(item, FusedItem):
+            kernel = generate_kernel(
+                item.segment, name=f"_kernel_{report.fused_segments}")
+            report.fused_segments += 1
+            report.fused_statements += len(item.segment.stmts)
+            report.kernel_sources.append(kernel.source)
+            c_kernel = None
+            if report.backend == "c":
+                c_kernel = CKernel(item.segment)
+                if c_kernel.eligible:
+                    report.c_eligible_segments += 1
+            compiled.append(_KernelItem(kernel, c_kernel))
+        elif isinstance(item, IfItem):
+            compiled.append(IfItem(item.cond,
+                                   _compile_plan(item.then_plan, report),
+                                   _compile_plan(item.else_plan, report)))
+        elif isinstance(item, WhileItem):
+            compiled.append(WhileItem(
+                item.cond, _compile_plan(item.body_plan, report)))
+        else:
+            compiled.append(item)
+    return compiled

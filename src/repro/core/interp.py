@@ -1,0 +1,159 @@
+"""Reference interpreter for HorseIR.
+
+Executes a module statement-at-a-time, fully materializing every
+intermediate vector — precisely the execution style of MonetDB's MAL
+interpreter and of the paper's **HorsePower-Naive** configuration (HorseIR
+compiled to C without fusion).  The optimized backend lives in
+:mod:`repro.core.codegen`; both produce identical results, which the test
+suite checks property-style.
+"""
+
+from __future__ import annotations
+
+from repro.core import builtins as hb
+from repro.core import ir
+from repro.core import types as ht
+from repro.core.values import ListValue, TableValue, Value, Vector, scalar
+from repro.errors import HorseRuntimeError
+
+__all__ = ["Interpreter", "run_module"]
+
+_MAX_LOOP_ITERATIONS = 100_000_000
+
+
+class _ReturnSignal(Exception):
+    """Internal control-flow signal carrying a method's return value."""
+
+    def __init__(self, value: Value):
+        self.value = value
+
+
+class Interpreter:
+    """Statement-at-a-time evaluator for a HorseIR module."""
+
+    def __init__(self, module: ir.Module,
+                 context: hb.EvalContext | None = None):
+        self.module = module
+        self.context = context if context is not None else hb.EvalContext()
+        #: Number of vector intermediates materialized (for the evaluation
+        #: narrative: naive mode materializes one per statement).
+        self.materialized = 0
+
+    def run(self, method_name: str | None = None,
+            args: list[Value] | None = None) -> Value:
+        """Execute a method (the entry method by default) and return its
+        result."""
+        if method_name is None:
+            method = self.module.entry
+        else:
+            try:
+                method = self.module.methods[method_name]
+            except KeyError:
+                raise HorseRuntimeError(
+                    f"module {self.module.name!r} has no method "
+                    f"{method_name!r}") from None
+        return self._call(method, list(args or []))
+
+    # -- internals ----------------------------------------------------------
+
+    def _call(self, method: ir.Method, args: list[Value]) -> Value:
+        if len(args) != len(method.params):
+            raise HorseRuntimeError(
+                f"method {method.name!r} expects {len(method.params)} "
+                f"argument(s), got {len(args)}")
+        env: dict[str, Value] = {
+            param.name: value
+            for param, value in zip(method.params, args)
+        }
+        try:
+            self._exec_body(method.body, env)
+        except _ReturnSignal as signal:
+            return signal.value
+        raise HorseRuntimeError(
+            f"method {method.name!r} finished without returning")
+
+    def _exec_body(self, body: list[ir.Stmt], env: dict[str, Value]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ir.Assign):
+                env[stmt.target] = self._coerce(
+                    self._eval(stmt.expr, env), stmt.type)
+                self.materialized += 1
+            elif isinstance(stmt, ir.Return):
+                raise _ReturnSignal(self._eval(stmt.expr, env))
+            elif isinstance(stmt, ir.If):
+                if self._truth(stmt.cond, env):
+                    self._exec_body(stmt.then_body, env)
+                else:
+                    self._exec_body(stmt.else_body, env)
+            elif isinstance(stmt, ir.While):
+                iterations = 0
+                while self._truth(stmt.cond, env):
+                    self._exec_body(stmt.body, env)
+                    iterations += 1
+                    if iterations > _MAX_LOOP_ITERATIONS:
+                        raise HorseRuntimeError(
+                            "while loop exceeded the iteration limit")
+            else:
+                raise HorseRuntimeError(
+                    f"unknown statement {type(stmt).__name__}")
+
+    def _truth(self, cond: ir.Expr, env: dict[str, Value]) -> bool:
+        value = self._eval(cond, env)
+        if not isinstance(value, Vector) or len(value) != 1:
+            raise HorseRuntimeError(
+                "control-flow conditions must be scalar booleans "
+                "(MATLAB's non-empty-set truthiness is unsupported, "
+                "per the paper's translation rules)")
+        return bool(value.item())
+
+    def _eval(self, expr: ir.Expr, env: dict[str, Value]) -> Value:
+        if isinstance(expr, ir.Var):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise HorseRuntimeError(
+                    f"undefined variable {expr.name!r}") from None
+        if isinstance(expr, ir.Literal):
+            return scalar(expr.value, expr.type)
+        if isinstance(expr, ir.SymbolLit):
+            return scalar(expr.name, ht.SYM)
+        if isinstance(expr, ir.Cast):
+            return self._coerce(self._eval(expr.expr, env), expr.type)
+        if isinstance(expr, ir.BuiltinCall):
+            builtin = hb.get(expr.name)
+            args = [self._eval(a, env) for a in expr.args]
+            return builtin.run(args, self.context)
+        if isinstance(expr, ir.MethodCall):
+            callee = self.module.methods.get(expr.name)
+            if callee is None:
+                raise HorseRuntimeError(
+                    f"call to unknown method {expr.name!r}")
+            args = [self._eval(a, env) for a in expr.args]
+            return self._call(callee, args)
+        raise HorseRuntimeError(
+            f"unknown expression {type(expr).__name__}")
+
+    @staticmethod
+    def _coerce(value: Value, type_: ht.HorseType) -> Value:
+        """Apply the declared type of an assignment / check_cast."""
+        if type_.is_wildcard:
+            return value
+        if isinstance(value, Vector) and not type_.is_list \
+                and not type_.is_table:
+            return value.astype(type_)
+        if isinstance(value, TableValue) and type_.is_table:
+            return value
+        if isinstance(value, ListValue) and type_.is_list:
+            return value
+        if isinstance(value, (TableValue, ListValue)):
+            raise HorseRuntimeError(
+                f"cannot cast {type(value).__name__} to {type_}")
+        return value
+
+
+def run_module(module: ir.Module, tables: dict[str, TableValue] | None = None,
+               method: str | None = None,
+               args: list[Value] | None = None) -> Value:
+    """Convenience wrapper: interpret ``module`` against ``tables``."""
+    interp = Interpreter(module, hb.EvalContext(tables))
+    return interp.run(method, args)

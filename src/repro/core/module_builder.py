@@ -1,0 +1,208 @@
+"""Fluent programmatic construction of HorseIR modules.
+
+The textual parser is convenient for literals in tests and docs; tools
+that *generate* IR (new frontends, query rewriters, fuzzers) want a
+builder that handles temporaries, literal wrapping and verification:
+
+    from repro.core.module_builder import ModuleBuilder
+
+    b = ModuleBuilder("Revenue")
+    with b.method("main", [], ht.F64) as m:
+        t = m.call("load_table", m.sym("lineitem"), type=ht.TABLE)
+        price = m.call("column_value", t, m.sym("l_extendedprice"),
+                       type=ht.F64)
+        disc = m.call("column_value", t, m.sym("l_discount"),
+                      type=ht.F64)
+        mask = m.call("geq", disc, 0.05, type=ht.BOOL)
+        kept_p = m.call("compress", mask, price, type=ht.F64)
+        kept_d = m.call("compress", mask, disc, type=ht.F64)
+        m.ret(m.call("sum", m.call("mul", kept_p, kept_d, type=ht.F64),
+                     type=ht.F64))
+    module = b.build()   # verified
+
+Python scalars auto-wrap as literals; every ``call`` yields a named
+temporary usable as a later operand.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+from repro.core import builtins as hb
+from repro.core import ir
+from repro.core import types as ht
+from repro.core.verify import verify_module
+from repro.errors import HorseIRError
+
+__all__ = ["ModuleBuilder", "MethodBuilder"]
+
+
+class _Temp:
+    """Handle to a value defined in the method under construction."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Temp({self.name})"
+
+
+def _to_expr(operand) -> ir.Expr:
+    if isinstance(operand, _Temp):
+        return ir.Var(operand.name)
+    if isinstance(operand, ir.Expr):
+        return operand
+    if isinstance(operand, bool):
+        return ir.Literal(operand, ht.BOOL)
+    if isinstance(operand, int):
+        return ir.Literal(operand, ht.I64)
+    if isinstance(operand, float):
+        return ir.Literal(operand, ht.F64)
+    if isinstance(operand, str):
+        return ir.Literal(operand, ht.STR)
+    if isinstance(operand, np.datetime64):
+        return ir.Literal(operand, ht.DATE)
+    raise HorseIRError(
+        f"cannot use {type(operand).__name__} as an operand")
+
+
+class MethodBuilder:
+    """Builds one method's body; obtained from
+    :meth:`ModuleBuilder.method`."""
+
+    def __init__(self, name: str, params: list[tuple[str, ht.HorseType]],
+                 ret_type: ht.HorseType):
+        self._name = name
+        self._params = [ir.Param(n, t) for n, t in params]
+        self._ret_type = ret_type
+        self._body: list[ir.Stmt] = []
+        self._body_stack: list[list[ir.Stmt]] = [self._body]
+        self._counter = 0
+        self._returned = False
+
+    # -- operands ---------------------------------------------------------
+
+    def param(self, name: str) -> _Temp:
+        if not any(p.name == name for p in self._params):
+            raise HorseIRError(f"method {self._name!r} has no parameter "
+                               f"{name!r}")
+        return _Temp(name)
+
+    @staticmethod
+    def sym(name: str) -> ir.Expr:
+        return ir.SymbolLit(name)
+
+    @staticmethod
+    def lit(value, type_: ht.HorseType) -> ir.Expr:
+        return ir.Literal(value, type_)
+
+    # -- statements ---------------------------------------------------------
+
+    def _fresh(self, hint: str) -> str:
+        self._counter += 1
+        return f"{hint}{self._counter}"
+
+    def _emit(self, type_: ht.HorseType, expr: ir.Expr,
+              name: str | None = None) -> _Temp:
+        target = name if name is not None else self._fresh("t")
+        self._body_stack[-1].append(ir.Assign(target, type_, expr))
+        return _Temp(target)
+
+    def call(self, builtin: str, *operands,
+             type: ht.HorseType = ht.WILDCARD,
+             name: str | None = None) -> _Temp:
+        """Emit ``target:type = @builtin(operands...)``."""
+        if not hb.exists(builtin):
+            raise HorseIRError(f"unknown builtin @{builtin}")
+        args = [_to_expr(op) for op in operands]
+        return self._emit(type, ir.BuiltinCall(builtin, args), name)
+
+    def invoke(self, method: str, *operands,
+               type: ht.HorseType = ht.WILDCARD,
+               name: str | None = None) -> _Temp:
+        """Emit a user-method call (resolved at build time)."""
+        args = [_to_expr(op) for op in operands]
+        return self._emit(type, ir.MethodCall(method, args), name)
+
+    def cast(self, operand, type: ht.HorseType,
+             name: str | None = None) -> _Temp:
+        return self._emit(type, ir.Cast(_to_expr(operand), type), name)
+
+    def let(self, operand, type: ht.HorseType = ht.WILDCARD,
+            name: str | None = None) -> _Temp:
+        """Bind a literal or alias to a named local."""
+        return self._emit(type, _to_expr(operand), name)
+
+    @contextlib.contextmanager
+    def if_(self, cond):
+        """``with m.if_(cond) as orelse: ...`` — the yielded callable
+        opens the else branch::
+
+            with m.if_(cond) as orelse:
+                m.let(1, ht.I64, name="r")
+                with orelse():
+                    m.let(0, ht.I64, name="r")
+        """
+        stmt = ir.If(_to_expr(cond), [], [])
+        self._body_stack[-1].append(stmt)
+        self._body_stack.append(stmt.then_body)
+
+        @contextlib.contextmanager
+        def orelse():
+            if self._body_stack[-1] is not stmt.then_body:
+                raise HorseIRError("else opened outside its if block")
+            self._body_stack.pop()
+            self._body_stack.append(stmt.else_body)
+            yield
+
+        try:
+            yield orelse
+        finally:
+            self._body_stack.pop()
+
+    @contextlib.contextmanager
+    def while_(self, cond):
+        stmt = ir.While(_to_expr(cond), [])
+        self._body_stack[-1].append(stmt)
+        self._body_stack.append(stmt.body)
+        try:
+            yield
+        finally:
+            self._body_stack.pop()
+
+    def ret(self, operand) -> None:
+        self._body_stack[-1].append(ir.Return(_to_expr(operand)))
+        if len(self._body_stack) == 1:
+            self._returned = True
+
+    def _finish(self) -> ir.Method:
+        if len(self._body_stack) != 1:
+            raise HorseIRError(
+                f"method {self._name!r} has an unclosed block")
+        return ir.Method(self._name, self._params, self._ret_type,
+                         self._body)
+
+
+class ModuleBuilder:
+    """Accumulates methods, verifies, and produces an
+    :class:`ir.Module`."""
+
+    def __init__(self, name: str):
+        self._module = ir.Module(name)
+
+    @contextlib.contextmanager
+    def method(self, name: str,
+               params: list[tuple[str, ht.HorseType]],
+               ret_type: ht.HorseType):
+        builder = MethodBuilder(name, params, ret_type)
+        yield builder
+        self._module.add(builder._finish())
+
+    def build(self, verify: bool = True) -> ir.Module:
+        if verify:
+            verify_module(self._module)
+        return self._module

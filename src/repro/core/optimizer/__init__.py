@@ -1,0 +1,22 @@
+"""HorsePower's compiler optimizations (paper Section 3.4).
+
+Passes, in pipeline order:
+
+1. :mod:`.inline` — method inlining: the cross-optimization enabler that
+   merges UDF bodies into the query body (Section 3.4.2, Figure 7);
+2. :mod:`.constprop` — constant propagation and folding;
+3. :mod:`.copyprop` — copy propagation;
+4. :mod:`.cse` — common-subexpression elimination;
+5. :mod:`.dce` — dead-code elimination by backward slicing, which removes
+   UDF outputs the enclosing query never consumes (the bs2 variant);
+6. :mod:`.patterns` — pattern-based fusion rewrites;
+7. :mod:`.fusion` — automatic loop fusion: segments the method into fused
+   kernels and opaque statements for the code generator.
+
+:func:`optimize` runs 1-6 and returns the rewritten module; segmenting
+(pass 7) happens in the compiler because its output is a plan, not IR.
+"""
+
+from repro.core.optimizer.pipeline import OptimizeStats, optimize  # noqa: F401
+
+__all__ = ["optimize", "OptimizeStats"]

@@ -1,0 +1,108 @@
+"""Shared dataflow helpers for the optimizer passes."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core import ir
+from repro.core.depgraph import block_uses
+
+__all__ = ["assign_counts", "single_assignment_vars", "use_counts",
+           "fresh_namer"]
+
+
+def assign_counts(method: ir.Method) -> Counter:
+    """How many times each variable is assigned anywhere in the method.
+
+    Assignments inside ``while`` bodies count twice: they may execute many
+    times, so the variable is not single-assignment even if it appears once
+    textually.
+    """
+    counts: Counter = Counter()
+    _count_assigns(method.body, counts, in_loop=False)
+    for param in method.params:
+        counts[param.name] += 1
+    return counts
+
+
+def _count_assigns(body: list[ir.Stmt], counts: Counter,
+                   in_loop: bool) -> None:
+    for stmt in body:
+        if isinstance(stmt, ir.Assign):
+            counts[stmt.target] += 2 if in_loop else 1
+        elif isinstance(stmt, ir.If):
+            _count_assigns(stmt.then_body, counts, in_loop)
+            _count_assigns(stmt.else_body, counts, in_loop)
+        elif isinstance(stmt, ir.While):
+            _count_assigns(stmt.body, counts, in_loop=True)
+
+
+def single_assignment_vars(method: ir.Method) -> set[str]:
+    """Variables assigned exactly once on every path (SSA-like)."""
+    counts = assign_counts(method)
+    return {name for name, count in counts.items() if count == 1}
+
+
+def use_counts(method: ir.Method) -> Counter:
+    """How many statement-level references each variable has."""
+    counts: Counter = Counter()
+    _count_uses(method.body, counts)
+    return counts
+
+
+def _count_uses(body: list[ir.Stmt], counts: Counter) -> None:
+    for stmt in body:
+        if isinstance(stmt, (ir.Assign, ir.Return)):
+            for name in ir.expr_vars(stmt.expr):
+                counts[name] += 1
+        elif isinstance(stmt, ir.If):
+            for name in ir.expr_vars(stmt.cond):
+                counts[name] += 1
+            _count_uses(stmt.then_body, counts)
+            _count_uses(stmt.else_body, counts)
+        elif isinstance(stmt, ir.While):
+            for name in ir.expr_vars(stmt.cond):
+                counts[name] += 1
+            _count_uses(stmt.body, counts)
+
+
+def fresh_namer(taken: set[str], prefix: str = "v"):
+    """A generator of variable names guaranteed not to collide.
+
+    Returns a callable ``fresh(hint) -> str`` that registers each result in
+    ``taken`` (the caller's live set, mutated in place).
+    """
+    counters: dict[str, int] = {}
+
+    def fresh(hint: str = prefix) -> str:
+        index = counters.get(hint, 0)
+        while True:
+            candidate = f"{hint}_{index}"
+            index += 1
+            if candidate not in taken:
+                counters[hint] = index
+                taken.add(candidate)
+                return candidate
+
+    return fresh
+
+
+def method_names(method: ir.Method) -> set[str]:
+    """Every variable name appearing in the method (defs, uses, params)."""
+    names = set(method.param_names())
+    names |= block_uses(method.body)
+    names |= _all_defs(method.body)
+    return names
+
+
+def _all_defs(body: list[ir.Stmt]) -> set[str]:
+    defs: set[str] = set()
+    for stmt in body:
+        if isinstance(stmt, ir.Assign):
+            defs.add(stmt.target)
+        elif isinstance(stmt, ir.If):
+            defs |= _all_defs(stmt.then_body)
+            defs |= _all_defs(stmt.else_body)
+        elif isinstance(stmt, ir.While):
+            defs |= _all_defs(stmt.body)
+    return defs

@@ -1,0 +1,95 @@
+"""Constant propagation and folding.
+
+Literal assignments to single-assignment variables are substituted into
+their uses, and pure elementwise builtins whose arguments are all literals
+are folded by evaluating them once at compile time.
+"""
+
+from __future__ import annotations
+
+from repro.core import builtins as hb
+from repro.core import ir
+from repro.core import types as ht
+from repro.core.optimizer import analysis
+from repro.core.values import Vector, scalar
+from repro.errors import BuiltinError
+
+__all__ = ["propagate_constants"]
+
+_FOLDABLE_KINDS = ("elementwise", "reduction")
+
+
+def propagate_constants(method: ir.Method) -> bool:
+    """Rewrite ``method`` in place; returns True when anything changed."""
+    single = analysis.single_assignment_vars(method)
+    constants: dict[str, ir.Expr] = {}
+    for stmt in method.walk_stmts():
+        if isinstance(stmt, ir.Assign) and stmt.target in single \
+                and isinstance(stmt.expr, (ir.Literal, ir.SymbolLit)):
+            constants[stmt.target] = stmt.expr
+    changed = _rewrite_body(method.body, constants)
+    return changed
+
+
+def _rewrite_body(body: list[ir.Stmt], constants: dict[str, ir.Expr]) -> bool:
+    changed = False
+    for stmt in body:
+        if isinstance(stmt, ir.Assign):
+            new = _rewrite_expr(stmt.expr, constants)
+            if new is not stmt.expr:
+                stmt.expr = new
+                changed = True
+        elif isinstance(stmt, ir.Return):
+            new = _rewrite_expr(stmt.expr, constants)
+            if new is not stmt.expr:
+                stmt.expr = new
+                changed = True
+        elif isinstance(stmt, ir.If):
+            new = _rewrite_expr(stmt.cond, constants)
+            if new is not stmt.cond:
+                stmt.cond = new
+                changed = True
+            changed |= _rewrite_body(stmt.then_body, constants)
+            changed |= _rewrite_body(stmt.else_body, constants)
+        elif isinstance(stmt, ir.While):
+            new = _rewrite_expr(stmt.cond, constants)
+            if new is not stmt.cond:
+                stmt.cond = new
+                changed = True
+            changed |= _rewrite_body(stmt.body, constants)
+    return changed
+
+
+def _rewrite_expr(expr: ir.Expr, constants: dict[str, ir.Expr]) -> ir.Expr:
+    def visit(node: ir.Expr) -> ir.Expr:
+        if isinstance(node, ir.Var) and node.name in constants:
+            return constants[node.name]
+        if isinstance(node, ir.BuiltinCall):
+            folded = _try_fold(node)
+            if folded is not None:
+                return folded
+        return node
+
+    rewritten = ir.map_expr(expr, visit)
+    if str(rewritten) == str(expr):
+        return expr
+    return rewritten
+
+
+def _try_fold(call: ir.BuiltinCall) -> ir.Literal | None:
+    builtin = hb.BUILTINS.get(call.name)
+    if builtin is None or builtin.kind not in _FOLDABLE_KINDS:
+        return None
+    values = []
+    for arg in call.args:
+        if not isinstance(arg, ir.Literal):
+            return None
+        values.append(scalar(arg.value, arg.type))
+    try:
+        result = builtin.run(values, hb.EvalContext())
+    except BuiltinError:
+        return None
+    if not isinstance(result, Vector) or len(result) != 1 \
+            or result.type in (ht.SYM,):
+        return None
+    return ir.Literal(result.item(), result.type)

@@ -1,0 +1,74 @@
+"""Common-subexpression elimination.
+
+Within each straight-line block, pure builtin calls with identical printed
+form are computed once; later occurrences become aliases of the first
+result.  Only expressions over single-assignment variables participate, so
+availability cannot be invalidated by a redefinition.
+"""
+
+from __future__ import annotations
+
+from repro.core import builtins as hb
+from repro.core import ir
+from repro.core.optimizer import analysis
+
+__all__ = ["eliminate_common_subexpressions"]
+
+
+def eliminate_common_subexpressions(method: ir.Method) -> bool:
+    """Rewrite ``method`` in place; returns True when anything changed."""
+    single = analysis.single_assignment_vars(method)
+    return _rewrite_body(method.body, single)
+
+
+def _rewrite_body(body: list[ir.Stmt], single: set[str]) -> bool:
+    changed = False
+    available: dict[str, str] = {}
+    for stmt in body:
+        if isinstance(stmt, ir.If):
+            changed |= _rewrite_body(stmt.then_body, single)
+            changed |= _rewrite_body(stmt.else_body, single)
+            continue
+        if isinstance(stmt, ir.While):
+            changed |= _rewrite_body(stmt.body, single)
+            continue
+        if not isinstance(stmt, ir.Assign):
+            continue
+        if stmt.target not in single:
+            continue
+        if not _is_cse_candidate(stmt.expr, single):
+            continue
+        key = f"{stmt.expr}::{stmt.type}"
+        existing = available.get(key)
+        if existing is not None:
+            stmt.expr = ir.Var(existing)
+            changed = True
+        else:
+            available[key] = stmt.target
+    return changed
+
+
+def _is_cse_candidate(expr: ir.Expr, single: set[str]) -> bool:
+    if isinstance(expr, ir.BuiltinCall):
+        builtin = hb.BUILTINS.get(expr.name)
+        if builtin is None or not builtin.is_pure:
+            return False
+        return all(_operand_stable(arg, single) for arg in expr.args)
+    if isinstance(expr, ir.Cast):
+        return _operand_stable(expr.expr, single)
+    return False
+
+
+def _operand_stable(expr: ir.Expr, single: set[str]) -> bool:
+    if isinstance(expr, ir.Var):
+        return expr.name in single
+    if isinstance(expr, (ir.Literal, ir.SymbolLit)):
+        return True
+    if isinstance(expr, ir.Cast):
+        return _operand_stable(expr.expr, single)
+    if isinstance(expr, ir.BuiltinCall):
+        builtin = hb.BUILTINS.get(expr.name)
+        if builtin is None or not builtin.is_pure:
+            return False
+        return all(_operand_stable(arg, single) for arg in expr.args)
+    return False

@@ -1,0 +1,99 @@
+"""Dead-code elimination by backward slicing (paper Section 3.4.2).
+
+Starting from the slicing criteria — return expressions, control-flow
+conditions, and calls to methods that are not known-pure — every statement
+whose result cannot reach a criterion is deleted.  After inlining, this is
+what removes a table UDF's unused output columns (the bs2_* variants in
+Table 4, where HorsePower avoids computing ``optionPrice`` entirely).
+"""
+
+from __future__ import annotations
+
+from repro.core import builtins as hb
+from repro.core import ir
+
+__all__ = ["eliminate_dead_code", "backward_slice"]
+
+_MAX_ROUNDS = 64
+
+
+def eliminate_dead_code(method: ir.Method) -> bool:
+    """Rewrite ``method`` in place; returns True when anything changed."""
+    changed = False
+    for _ in range(_MAX_ROUNDS):
+        live = backward_slice(method)
+        removed = _sweep(method.body, live)
+        if not removed:
+            break
+        changed = True
+    return changed
+
+
+def backward_slice(method: ir.Method) -> set[str]:
+    """The set of variable names that can influence the method's result.
+
+    A fixpoint over the whole body: loops make liveness circular (a loop
+    body both uses and defines its carried variables), so iterate until
+    stable.
+    """
+    live: set[str] = set()
+    while True:
+        before = len(live)
+        _mark_live(method.body, live)
+        if len(live) == before:
+            return live
+
+
+def _mark_live(body: list[ir.Stmt], live: set[str]) -> None:
+    # Walk backwards so a single sweep handles straight-line chains.
+    for stmt in reversed(body):
+        if isinstance(stmt, ir.Return):
+            live.update(ir.expr_vars(stmt.expr))
+        elif isinstance(stmt, ir.Assign):
+            if stmt.target in live or _has_effects(stmt.expr):
+                live.update(ir.expr_vars(stmt.expr))
+                live.add(stmt.target)
+        elif isinstance(stmt, ir.If):
+            live.update(ir.expr_vars(stmt.cond))
+            _mark_live(stmt.then_body, live)
+            _mark_live(stmt.else_body, live)
+        elif isinstance(stmt, ir.While):
+            live.update(ir.expr_vars(stmt.cond))
+            _mark_live(stmt.body, live)
+
+
+def _has_effects(expr: ir.Expr) -> bool:
+    """True when evaluating ``expr`` must be preserved regardless of use.
+
+    Method calls are conservatively treated as effectful (the callee may be
+    non-inlinable and opaque); all builtins in this library are pure, so a
+    builtin call is removable when its result is dead.
+    """
+    if isinstance(expr, ir.MethodCall):
+        return True
+    if isinstance(expr, ir.BuiltinCall):
+        builtin = hb.BUILTINS.get(expr.name)
+        if builtin is None:
+            return True
+        return any(_has_effects(a) for a in expr.args)
+    if isinstance(expr, ir.Cast):
+        return _has_effects(expr.expr)
+    return False
+
+
+def _sweep(body: list[ir.Stmt], live: set[str]) -> bool:
+    removed = False
+    kept: list[ir.Stmt] = []
+    for stmt in body:
+        if isinstance(stmt, ir.Assign) and stmt.target not in live \
+                and not _has_effects(stmt.expr):
+            removed = True
+            continue
+        if isinstance(stmt, ir.If):
+            removed |= _sweep(stmt.then_body, live)
+            removed |= _sweep(stmt.else_body, live)
+        elif isinstance(stmt, ir.While):
+            removed |= _sweep(stmt.body, live)
+        kept.append(stmt)
+    body[:] = kept
+    return removed

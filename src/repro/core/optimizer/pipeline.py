@@ -1,0 +1,87 @@
+"""The optimization pipeline (paper Section 3.4).
+
+``optimize`` rewrites a module through the paper's pass order: method
+inlining first (the cross-optimization enabler), then scalar cleanups
+(constants, copies, CSE), backward slicing, and pattern-based fusion.
+Automatic loop fusion itself runs in the compiler, because its result is an
+execution plan rather than IR.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core import ir
+from repro.core.optimizer.constprop import propagate_constants
+from repro.core.optimizer.copyprop import propagate_copies
+from repro.core.optimizer.cse import eliminate_common_subexpressions
+from repro.core.optimizer.dce import eliminate_dead_code
+from repro.core.optimizer.inline import inline_methods
+from repro.core.optimizer.patterns import (apply_patterns,
+                                            forward_list_items)
+
+__all__ = ["optimize", "OptimizeStats"]
+
+_MAX_ROUNDS = 16
+
+
+@dataclass
+class OptimizeStats:
+    """What the pipeline did — surfaced by examples and benchmarks."""
+
+    rounds: int = 0
+    inlined_methods_removed: int = 0
+    passes_applied: list[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+
+def optimize(module: ir.Module, *, entry: str | None = None,
+             enable_patterns: bool = True) -> tuple[ir.Module, OptimizeStats]:
+    """Optimize ``module``; returns a new module and pass statistics."""
+    stats = OptimizeStats()
+    start = time.perf_counter()
+
+    before = len(module.methods)
+    module = inline_methods(module, entry=entry)
+    stats.inlined_methods_removed = before - len(module.methods)
+    if stats.inlined_methods_removed:
+        stats.passes_applied.append("inline")
+
+    for round_index in range(_MAX_ROUNDS):
+        changed = False
+        for method in module.methods.values():
+            if forward_list_items(method):
+                changed = True
+                _note(stats, "list-forwarding")
+            if propagate_constants(method):
+                changed = True
+                _note(stats, "constprop")
+            if propagate_copies(method):
+                changed = True
+                _note(stats, "copyprop")
+            if eliminate_common_subexpressions(method):
+                changed = True
+                _note(stats, "cse")
+            if eliminate_dead_code(method):
+                changed = True
+                _note(stats, "dce")
+        stats.rounds = round_index + 1
+        if not changed:
+            break
+
+    if enable_patterns:
+        for method in module.methods.values():
+            if apply_patterns(method):
+                _note(stats, "patterns")
+        # Pattern rewrites can orphan mask definitions; sweep once more.
+        for method in module.methods.values():
+            eliminate_dead_code(method)
+
+    stats.elapsed_seconds = time.perf_counter() - start
+    return module, stats
+
+
+def _note(stats: OptimizeStats, name: str) -> None:
+    if name not in stats.passes_applied:
+        stats.passes_applied.append(name)

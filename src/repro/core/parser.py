@@ -1,0 +1,302 @@
+"""Parser for textual HorseIR.
+
+Accepts the syntax used throughout the paper (Figures 2b and 6)::
+
+    module ExampleQuery {
+        def main(): table {
+            t0:table = @load_table(`lineitem:sym);
+            t1:f64 = check_cast(@column_value(t0, `l_extendedprice:sym), f64);
+            t3:bool = @geq(t2, 0.05:f64);
+            ...
+            return t10;
+        }
+        def udf(price:f64, discount:f64): f64 {
+            x0:f64 = @mul(price, discount);
+            return x0;
+        }
+    }
+
+plus structured ``if (cond) { ... } else { ... }`` and ``while (cond)
+{ ... }`` statements, which the MATLAB frontend emits.  Literal forms:
+``0.05:f64``, ``42:i64``, ``1:bool``, ``"text":str``, ```name:sym`` and
+``1998-12-01:date``.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.core import ir
+from repro.core import types as ht
+from repro.errors import HorseSyntaxError
+
+__all__ = ["parse_module", "parse_method"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>//[^\n]*)
+  | (?P<DATE>\d{4}-\d{2}-\d{2})
+  | (?P<NUMBER>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<STRING>"(?:[^"\\]|\\.)*")
+  | (?P<SYMBOL>`[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<AT_ID>@[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<ID>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<PUNCT>[{}()<>,;:=?])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"module", "def", "return", "if", "else", "while", "check_cast"}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise HorseSyntaxError(
+                f"unexpected character {source[pos]!r}",
+                line, pos - line_start + 1)
+        kind = match.lastgroup
+        text = match.group()
+        if kind not in ("WS", "COMMENT"):
+            token_kind = kind
+            if kind == "ID" and text in _KEYWORDS:
+                token_kind = text.upper()
+            tokens.append(_Token(token_kind, text, line,
+                                 match.start() - line_start + 1))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = match.start() + text.rfind("\n") + 1
+        pos = match.end()
+    tokens.append(_Token("EOF", "", line, pos - line_start + 1))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self._tokens = _tokenize(source)
+        self._pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def _current(self) -> _Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        token = self._current
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def _accept(self, kind: str, text: str | None = None) -> _Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._current
+        if not self._check(kind, text):
+            wanted = text if text is not None else kind
+            raise HorseSyntaxError(
+                f"expected {wanted!r}, found {token.text!r}",
+                token.line, token.column)
+        return self._advance()
+
+    def _punct(self, text: str) -> _Token:
+        return self._expect("PUNCT", text)
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_module(self) -> ir.Module:
+        self._expect("MODULE")
+        name = self._expect("ID").text
+        self._punct("{")
+        module = ir.Module(name)
+        while not self._check("PUNCT", "}"):
+            module.add(self.parse_method())
+        self._punct("}")
+        self._expect("EOF")
+        return module
+
+    def parse_method(self) -> ir.Method:
+        self._expect("DEF")
+        name = self._expect("ID").text
+        self._punct("(")
+        params: list[ir.Param] = []
+        if not self._check("PUNCT", ")"):
+            while True:
+                pname = self._expect("ID").text
+                self._punct(":")
+                params.append(ir.Param(pname, self._parse_type()))
+                if not self._accept("PUNCT", ","):
+                    break
+        self._punct(")")
+        self._punct(":")
+        ret_type = self._parse_type()
+        body = self._parse_block()
+        return ir.Method(name, params, ret_type, body)
+
+    def _parse_block(self) -> list[ir.Stmt]:
+        self._punct("{")
+        body: list[ir.Stmt] = []
+        while not self._check("PUNCT", "}"):
+            body.append(self._parse_stmt())
+        self._punct("}")
+        return body
+
+    def _parse_stmt(self) -> ir.Stmt:
+        if self._accept("RETURN"):
+            expr = self._parse_expr()
+            self._punct(";")
+            return ir.Return(expr)
+        if self._accept("IF"):
+            self._punct("(")
+            cond = self._parse_expr()
+            self._punct(")")
+            then_body = self._parse_block()
+            else_body: list[ir.Stmt] = []
+            if self._accept("ELSE"):
+                if self._check("IF"):
+                    else_body = [self._parse_stmt()]
+                else:
+                    else_body = self._parse_block()
+            return ir.If(cond, then_body, else_body)
+        if self._accept("WHILE"):
+            self._punct("(")
+            cond = self._parse_expr()
+            self._punct(")")
+            return ir.While(cond, self._parse_block())
+        target = self._expect("ID").text
+        self._punct(":")
+        type_ = self._parse_type()
+        self._punct("=")
+        expr = self._parse_expr()
+        self._punct(";")
+        return ir.Assign(target, type_, expr)
+
+    def _parse_type(self) -> ht.HorseType:
+        name = self._expect("ID").text
+        if name == "list":
+            self._punct("<")
+            element = self._parse_type()
+            self._punct(">")
+            return ht.list_of(element)
+        if name == "unknown":
+            return ht.WILDCARD
+        return ht.make_type(name)
+
+    def _parse_expr(self) -> ir.Expr:
+        token = self._current
+        if token.kind == "AT_ID":
+            self._advance()
+            name = token.text[1:]
+            args = self._parse_args()
+            from repro.core import builtins as hb
+            if hb.exists(name):
+                return ir.BuiltinCall(name, args)
+            return ir.MethodCall(name, args)
+        if token.kind == "CHECK_CAST":
+            self._advance()
+            self._punct("(")
+            inner = self._parse_expr()
+            self._punct(",")
+            type_ = self._parse_type()
+            self._punct(")")
+            return ir.Cast(inner, type_)
+        if token.kind == "SYMBOL":
+            self._advance()
+            self._punct(":")
+            suffix = self._expect("ID")
+            if suffix.text != "sym":
+                raise HorseSyntaxError("symbol literal must have type sym",
+                                       suffix.line, suffix.column)
+            return ir.SymbolLit(token.text[1:])
+        if token.kind in ("NUMBER", "DATE"):
+            self._advance()
+            self._punct(":")
+            type_ = self._parse_type()
+            return ir.Literal(_literal_value(token, type_), type_)
+        if token.kind == "STRING":
+            self._advance()
+            self._punct(":")
+            type_ = self._parse_type()
+            text = token.text[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+            return ir.Literal(text, type_)
+        if token.kind == "ID":
+            self._advance()
+            return ir.Var(token.text)
+        raise HorseSyntaxError(f"unexpected token {token.text!r}",
+                               token.line, token.column)
+
+    def _parse_args(self) -> list[ir.Expr]:
+        self._punct("(")
+        args: list[ir.Expr] = []
+        if not self._check("PUNCT", ")"):
+            while True:
+                args.append(self._parse_expr())
+                if not self._accept("PUNCT", ","):
+                    break
+        self._punct(")")
+        return args
+
+
+def _literal_value(token: _Token, type_: ht.HorseType):
+    if token.kind == "DATE":
+        if type_ != ht.DATE:
+            raise HorseSyntaxError(
+                f"date literal annotated as {type_}", token.line,
+                token.column)
+        return np.datetime64(token.text, "D")
+    text = token.text
+    if type_ == ht.BOOL:
+        return text not in ("0", "0.0")
+    if ht.is_integer(type_):
+        return int(float(text))
+    if ht.is_float(type_):
+        return float(text)
+    if type_ == ht.DATE:
+        raise HorseSyntaxError("date literals use YYYY-MM-DD form",
+                               token.line, token.column)
+    raise HorseSyntaxError(f"numeric literal annotated as {type_}",
+                           token.line, token.column)
+
+
+def parse_module(source: str) -> ir.Module:
+    """Parse a complete ``module { ... }`` definition."""
+    return _Parser(source).parse_module()
+
+
+def parse_method(source: str) -> ir.Method:
+    """Parse a single ``def name(...): type { ... }`` definition."""
+    parser = _Parser(source)
+    method = parser.parse_method()
+    parser._expect("EOF")
+    return method

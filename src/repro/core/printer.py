@@ -1,0 +1,67 @@
+"""Pretty-printer for HorseIR modules.
+
+Round-trips with :mod:`repro.core.parser`: ``parse_module(print_module(m))``
+reproduces ``m`` (modulo whitespace), which the tests rely on.
+"""
+
+from __future__ import annotations
+
+from repro.core import ir
+
+__all__ = ["print_module", "print_method", "print_stmt"]
+
+_INDENT = "    "
+
+
+def print_module(module: ir.Module) -> str:
+    lines = [f"module {module.name} {{"]
+    for method in module.methods.values():
+        lines.append(_format_method(method, 1))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def print_method(method: ir.Method) -> str:
+    return _format_method(method, 0) + "\n"
+
+
+def _format_method(method: ir.Method, depth: int) -> str:
+    pad = _INDENT * depth
+    params = ", ".join(str(p) for p in method.params)
+    lines = [f"{pad}def {method.name}({params}): {method.ret_type} {{"]
+    lines.extend(_format_body(method.body, depth + 1))
+    lines.append(f"{pad}}}")
+    return "\n".join(lines)
+
+
+def _format_body(body: list[ir.Stmt], depth: int) -> list[str]:
+    lines: list[str] = []
+    for stmt in body:
+        lines.extend(_format_stmt(stmt, depth))
+    return lines
+
+
+def _format_stmt(stmt: ir.Stmt, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, ir.Assign):
+        return [f"{pad}{stmt}"]
+    if isinstance(stmt, ir.Return):
+        return [f"{pad}{stmt}"]
+    if isinstance(stmt, ir.If):
+        lines = [f"{pad}if ({stmt.cond}) {{"]
+        lines.extend(_format_body(stmt.then_body, depth + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            lines.extend(_format_body(stmt.else_body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ir.While):
+        lines = [f"{pad}while ({stmt.cond}) {{"]
+        lines.extend(_format_body(stmt.body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+
+def print_stmt(stmt: ir.Stmt) -> str:
+    return "\n".join(_format_stmt(stmt, 0))

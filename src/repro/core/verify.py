@@ -1,0 +1,106 @@
+"""Structural verification of HorseIR modules.
+
+The verifier enforces the invariants the optimizer and the backends rely on:
+
+* every variable is assigned before use (parameters count as assigned);
+* builtin names exist and arities match;
+* method calls resolve to methods in the same module, with matching arity;
+* every path through a method body ends in ``return`` (checked shallowly:
+  the last top-level statement must be a return or an if whose branches
+  both terminate);
+* ``if``/``while`` conditions are expressions (scalarity is a runtime
+  property, checked by the interpreter).
+"""
+
+from __future__ import annotations
+
+from repro.core import builtins as hb
+from repro.core import ir
+from repro.errors import HorseVerifyError
+
+__all__ = ["verify_module", "verify_method"]
+
+
+def verify_module(module: ir.Module) -> None:
+    if not module.methods:
+        raise HorseVerifyError(f"module {module.name!r} has no methods")
+    for method in module.methods.values():
+        verify_method(method, module)
+
+
+def verify_method(method: ir.Method, module: ir.Module | None = None) -> None:
+    defined = set(method.param_names())
+    if len(defined) != len(method.params):
+        raise HorseVerifyError(
+            f"method {method.name!r} has duplicate parameter names")
+    _verify_body(method.body, defined, method, module)
+    if not _terminates(method.body):
+        raise HorseVerifyError(
+            f"method {method.name!r} does not end in a return")
+
+
+def _verify_body(body: list[ir.Stmt], defined: set[str],
+                 method: ir.Method, module: ir.Module | None) -> None:
+    for stmt in body:
+        if isinstance(stmt, ir.Assign):
+            _verify_expr(stmt.expr, defined, method, module)
+            defined.add(stmt.target)
+        elif isinstance(stmt, ir.Return):
+            _verify_expr(stmt.expr, defined, method, module)
+        elif isinstance(stmt, ir.If):
+            _verify_expr(stmt.cond, defined, method, module)
+            then_defined = set(defined)
+            else_defined = set(defined)
+            _verify_body(stmt.then_body, then_defined, method, module)
+            _verify_body(stmt.else_body, else_defined, method, module)
+            # Only names assigned on *both* branches are defined after.
+            defined |= (then_defined & else_defined)
+        elif isinstance(stmt, ir.While):
+            _verify_expr(stmt.cond, defined, method, module)
+            # Loop bodies may not execute; their definitions don't escape.
+            _verify_body(stmt.body, set(defined), method, module)
+        else:
+            raise HorseVerifyError(
+                f"unknown statement {type(stmt).__name__} "
+                f"in method {method.name!r}")
+
+
+def _verify_expr(expr: ir.Expr, defined: set[str],
+                 method: ir.Method, module: ir.Module | None) -> None:
+    if isinstance(expr, ir.Var):
+        if expr.name not in defined:
+            raise HorseVerifyError(
+                f"variable {expr.name!r} used before assignment "
+                f"in method {method.name!r}")
+        return
+    if isinstance(expr, ir.BuiltinCall):
+        builtin = hb.get(expr.name)
+        if builtin.arity is not None and len(expr.args) != builtin.arity:
+            raise HorseVerifyError(
+                f"@{expr.name} expects {builtin.arity} argument(s), "
+                f"got {len(expr.args)} in method {method.name!r}")
+    elif isinstance(expr, ir.MethodCall):
+        if module is not None:
+            callee = module.methods.get(expr.name)
+            if callee is None:
+                raise HorseVerifyError(
+                    f"call to unknown method {expr.name!r} "
+                    f"in method {method.name!r}")
+            if len(callee.params) != len(expr.args):
+                raise HorseVerifyError(
+                    f"method {expr.name!r} expects {len(callee.params)} "
+                    f"argument(s), got {len(expr.args)} "
+                    f"in method {method.name!r}")
+    for child in expr.children():
+        _verify_expr(child, defined, method, module)
+
+
+def _terminates(body: list[ir.Stmt]) -> bool:
+    if not body:
+        return False
+    last = body[-1]
+    if isinstance(last, ir.Return):
+        return True
+    if isinstance(last, ir.If) and last.else_body:
+        return _terminates(last.then_body) and _terminates(last.else_body)
+    return False

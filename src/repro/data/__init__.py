@@ -1,0 +1,8 @@
+"""Workload data generators: TPC-H dbgen subset, Black-Scholes inputs,
+Morgan market-data series."""
+
+from repro.data.blackscholes import (  # noqa: F401
+    calc_option_price, generate_blackscholes, load_blackscholes_table,
+)
+from repro.data.morgan import generate_morgan, morgan_reference  # noqa: F401
+from repro.data.tpch import generate_tpch  # noqa: F401

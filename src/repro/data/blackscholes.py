@@ -1,0 +1,90 @@
+"""Black-Scholes workload: input generator + vectorized NumPy reference.
+
+The PARSEC Black-Scholes kernel prices European options.  The NumPy
+reference here plays two roles in the evaluation:
+
+* the Python UDF body that the MonetDB-like baseline executes through its
+  bridge (Tables 2 & 4);
+* the "Python" configuration of Table 3 (standalone NumPy vs HorseIR).
+
+``option_type`` is numeric: 0 = call, 1 = put (crossing the UDF boundary
+as a zero-copy float column, exactly as the paper's setup relies on for
+the non-string columns).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.storage import Database
+
+__all__ = ["calc_option_price", "cndf", "generate_blackscholes",
+           "load_blackscholes_table", "BS_COLUMNS"]
+
+BS_COLUMNS = ("spotPrice", "strike", "rate", "volatility", "otime",
+              "optionType")
+
+_INV_SQRT_2PI = 0.39894228040143270286
+
+
+def cndf(x: np.ndarray) -> np.ndarray:
+    """Standardized cumulative normal distribution (PARSEC's polynomial
+    approximation)."""
+    ax = np.abs(x)
+    k = 1.0 / (1.0 + 0.2316419 * ax)
+    k2 = k * k
+    k3 = k2 * k
+    k4 = k3 * k
+    k5 = k4 * k
+    poly = (0.319381530 * k
+            - 0.356563782 * k2
+            + 1.781477937 * k3
+            - 1.821255978 * k4
+            + 1.330274429 * k5)
+    n = 1.0 - _INV_SQRT_2PI * np.exp(-0.5 * ax * ax) * poly
+    return np.where(x >= 0, n, 1.0 - n)
+
+
+def calc_option_price(spot_price, strike, rate, volatility, otime,
+                      option_type) -> np.ndarray:
+    """Vectorized Black-Scholes option pricing (the Python UDF body)."""
+    spot_price = np.asarray(spot_price, dtype=np.float64)
+    strike = np.asarray(strike, dtype=np.float64)
+    rate = np.asarray(rate, dtype=np.float64)
+    volatility = np.asarray(volatility, dtype=np.float64)
+    otime = np.asarray(otime, dtype=np.float64)
+    option_type = np.asarray(option_type, dtype=np.float64)
+
+    log_term = np.log(spot_price / strike)
+    pow_term = 0.5 * volatility * volatility
+    den = volatility * np.sqrt(otime)
+    d1 = (((rate + pow_term) * otime) + log_term) / den
+    d2 = d1 - den
+    n_d1 = cndf(d1)
+    n_d2 = cndf(d2)
+    future_value = strike * np.exp(-rate * otime)
+    call = (spot_price * n_d1) - (future_value * n_d2)
+    put = (future_value * (1.0 - n_d2)) - (spot_price * (1.0 - n_d1))
+    return option_type * put + (1.0 - option_type) * call
+
+
+def generate_blackscholes(n: int, seed: int = 7) -> dict[str, np.ndarray]:
+    """Input columns for ``n`` options.
+
+    ``spotPrice`` is uniform on [2, 200], matching the selectivity knobs
+    the bs1/bs2 variants use (``< 50 OR > 100``-style predicates)."""
+    rng = np.random.default_rng(seed)
+    return {
+        "spotPrice": rng.uniform(2.0, 200.0, n),
+        "strike": rng.uniform(2.0, 200.0, n),
+        "rate": rng.uniform(0.01, 0.10, n),
+        "volatility": rng.uniform(0.05, 0.65, n),
+        "otime": rng.uniform(0.05, 4.0, n),
+        "optionType": rng.integers(0, 2, n).astype(np.float64),
+    }
+
+
+def load_blackscholes_table(db: Database, n: int, seed: int = 7,
+                            name: str = "blackScholesData"):
+    """Create the ``blackScholesData`` table used by the bs* queries."""
+    return db.create_table(name, generate_blackscholes(n, seed))

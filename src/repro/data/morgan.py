@@ -1,0 +1,54 @@
+"""Morgan workload: market-data generator + NumPy reference.
+
+The Morgan algorithm (Ching & Zheng's array-oriented finance kernel) has
+no public source; per DESIGN.md we substitute a moving-sum based
+trading-signal kernel with the structural properties the paper relies on:
+a main function plus an ``msum`` helper, a ``cumsum`` scan, wide
+elementwise sections, and several locals — so naive execution
+materializes many intermediates and fusion has the same opportunities the
+paper measures.
+
+The kernel computes an ``n``-period volume-weighted average price (VWAP),
+the price deviation from it, a clipped z-score signal, and folds the
+signal-weighted deviation to a scalar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["generate_morgan", "morgan_reference", "msum_reference"]
+
+
+def msum_reference(x: np.ndarray, n: int) -> np.ndarray:
+    """Moving window sum over ``n`` elements (length ``len(x) - n + 1``)."""
+    c = np.cumsum(x)
+    return c[n - 1:] - np.concatenate(([0.0], c[:-n]))
+
+
+def morgan_reference(n: int, price: np.ndarray,
+                     volume: np.ndarray) -> float:
+    """Vectorized NumPy reference of the Morgan kernel."""
+    price = np.asarray(price, dtype=np.float64)
+    volume = np.asarray(volume, dtype=np.float64)
+    pv = price * volume
+    s1 = msum_reference(pv, n)
+    s2 = msum_reference(volume, n)
+    vwap = s1 / s2
+    tail = price[n - 1:]
+    dev = tail - vwap
+    scale = np.sqrt(np.mean(dev * dev))
+    z = dev / scale
+    signal = np.sign(z) * np.minimum(np.abs(z), 3.0)
+    return float(np.sum(signal * dev))
+
+
+def generate_morgan(size: int, seed: int = 11) -> tuple[np.ndarray,
+                                                        np.ndarray]:
+    """A random-walk price series and a lognormal volume series."""
+    rng = np.random.default_rng(seed)
+    steps = rng.normal(0.0, 0.5, size)
+    price = 100.0 + np.cumsum(steps)
+    price = np.maximum(price, 1.0)
+    volume = np.exp(rng.normal(8.0, 0.5, size))
+    return price, volume

@@ -1,0 +1,13 @@
+"""``engine`` — the column-store database substrate (MonetDB stand-in).
+
+Executes logical plans the way MonetDB executes MAL: one vectorized
+operator at a time over whole columns, materializing every intermediate,
+with embedded Python UDFs called through a black-box bridge
+(:mod:`repro.engine.udf_bridge`): integer columns cross zero-copy, decimal
+(money) columns pay a conversion pass, and string/date columns convert
+element by element — the costs the paper measures in Tables 2 and 4.
+"""
+
+from repro.engine.storage import Database  # noqa: F401
+from repro.engine.table import ColumnTable  # noqa: F401
+from repro.engine.executor import PlanExecutor  # noqa: F401

@@ -1,0 +1,124 @@
+"""Exception hierarchy for the HorsePower reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class HorseIRError(ReproError):
+    """Base class for errors in the HorseIR core (types, IR, compiler)."""
+
+
+class HorseTypeError(HorseIRError):
+    """A HorseIR value or expression has an unexpected type."""
+
+
+class HorseSyntaxError(HorseIRError):
+    """Textual HorseIR failed to parse."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class HorseVerifyError(HorseIRError):
+    """A HorseIR module violates a structural invariant."""
+
+
+class HorseRuntimeError(HorseIRError):
+    """A HorseIR program failed while executing."""
+
+
+class BuiltinError(HorseIRError):
+    """A built-in function was called with invalid arguments."""
+
+
+class OptimizerError(HorseIRError):
+    """An optimization pass produced or encountered invalid IR."""
+
+
+class CodegenError(HorseIRError):
+    """Kernel code generation failed."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL frontend errors."""
+
+
+class SQLSyntaxError(SQLError):
+    """SQL text failed to parse."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class PlanError(SQLError):
+    """Logical planning or plan translation failed."""
+
+
+class CatalogError(SQLError):
+    """Unknown table or column, or inconsistent schema."""
+
+
+class MatlangError(ReproError):
+    """Base class for MATLAB-subset frontend errors."""
+
+
+class MatlangSyntaxError(MatlangError):
+    """MATLAB-subset source failed to parse."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class MatlangTypeError(MatlangError):
+    """Tamer type/shape inference failed or found an inconsistency."""
+
+
+class MatlangRuntimeError(MatlangError):
+    """The MATLAB-subset interpreter failed while executing."""
+
+
+class EngineError(ReproError):
+    """Base class for column-store engine errors."""
+
+
+class StorageError(EngineError):
+    """Table storage or CSV I/O failed."""
+
+
+class ExecutorError(EngineError):
+    """The baseline plan executor failed."""
+
+
+class UDFError(EngineError):
+    """A user-defined function failed or was mis-declared."""

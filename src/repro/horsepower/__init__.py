@@ -1,0 +1,13 @@
+"""HorsePower: the top-level system facades.
+
+* :class:`~repro.horsepower.system.HorsePowerSystem` — the paper's system:
+  SQL, MATLAB, and SQL+MATLAB-UDF inputs, one HorseIR module, holistic
+  optimization, compiled execution;
+* :class:`~repro.horsepower.baseline.MonetDBLike` — the comparison system:
+  the same SQL planner, interpreted plan execution, black-box Python UDFs.
+"""
+
+from repro.horsepower.baseline import MonetDBLike  # noqa: F401
+from repro.horsepower.system import CompiledQuery, HorsePowerSystem  # noqa: F401
+
+__all__ = ["HorsePowerSystem", "MonetDBLike", "CompiledQuery"]

@@ -1,0 +1,40 @@
+"""The MonetDB-like comparison system.
+
+Identical SQL surface to :class:`HorsePowerSystem` — same parser, same
+planner, same plans — but executed by the interpreting column-store
+engine with black-box Python UDFs (Section 2.3's architecture).  The pair
+of facades is what the Table 2 / Table 4 benchmarks drive.
+"""
+
+from __future__ import annotations
+
+from repro.engine.executor import PlanExecutor
+from repro.engine.storage import Database
+from repro.engine.table import ColumnTable
+from repro.sql.parser import parse_sql
+from repro.sql.planner import plan_query
+from repro.sql.udf import UDFRegistry
+
+__all__ = ["MonetDBLike"]
+
+
+class MonetDBLike:
+    """Column-store DBS with embedded Python UDFs (the baseline)."""
+
+    def __init__(self, db: Database, udfs: UDFRegistry | None = None):
+        self.db = db
+        self.udfs = udfs or UDFRegistry()
+        self.executor = PlanExecutor(db, self.udfs)
+
+    @property
+    def bridge(self):
+        """The UDF conversion boundary (exposes conversion counters)."""
+        return self.executor.bridge
+
+    def plan_sql(self, sql: str):
+        select = parse_sql(sql)
+        return plan_query(select, self.db.catalog(), self.udfs)
+
+    def run_sql(self, sql: str, n_threads: int = 1) -> ColumnTable:
+        plan = self.plan_sql(sql)
+        return self.executor.execute(plan, n_threads=n_threads)

@@ -1,0 +1,114 @@
+"""The HorsePower system facade.
+
+Glues the pipelines of Figure 1 together over one database:
+
+* ``compile_sql`` / ``run_sql`` — SQL (optionally with registered MATLAB
+  UDFs) → plan → JSON → HorseIR (+ merged UDF methods) → optimized,
+  compiled, executed;
+* ``compile_matlab_function`` — standalone MATLAB analytics → HorseIR →
+  compiled executable;
+* UDF registration carries both the MATLAB source (used here) and an
+  optional Python implementation (used by the MonetDB-like baseline), so
+  a benchmark registers each UDF once for both systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import types as ht
+from repro.core.compiler import CompiledProgram, compile_module
+from repro.core.values import TableValue
+from repro.engine.storage import Database
+from repro.matlang.frontend import MatlabProgram, compile_matlab
+from repro.sql.parser import parse_sql
+from repro.sql.plan import plan_to_json
+from repro.sql.planner import plan_query
+from repro.sql.udf import ScalarUDF, TableUDFDef, UDFRegistry
+from repro.horsepower.translate import build_query_module
+
+__all__ = ["HorsePowerSystem", "CompiledQuery"]
+
+
+@dataclass
+class CompiledQuery:
+    """A compiled SQL query with its full provenance chain."""
+
+    sql: str
+    plan_json: dict
+    module_before_opt: object  # ir.Module as built (pre-optimization)
+    program: CompiledProgram
+    system: "HorsePowerSystem"
+
+    def run(self, n_threads: int = 1, **kwargs) -> TableValue:
+        tables = self.system.db.to_table_values()
+        return self.program.run(tables, n_threads=n_threads, **kwargs)
+
+    @property
+    def compile_seconds(self) -> float:
+        """The paper's COMP column: optimize + codegen time."""
+        return self.program.report.compile_seconds
+
+    @property
+    def kernel_sources(self) -> list[str]:
+        return self.program.kernel_sources
+
+
+class HorsePowerSystem:
+    """SQL + MATLAB + SQL-with-MATLAB-UDF execution over HorseIR."""
+
+    def __init__(self, db: Database, udfs: UDFRegistry | None = None):
+        self.db = db
+        self.udfs = udfs or UDFRegistry()
+
+    # -- UDF registration -------------------------------------------------------
+
+    def register_scalar_udf(self, name: str, matlab_source: str,
+                            param_types: list[ht.HorseType],
+                            ret_type: ht.HorseType = ht.F64,
+                            python_impl=None) -> ScalarUDF:
+        udf = ScalarUDF(name, list(param_types), ret_type,
+                        matlab_source=matlab_source,
+                        python_impl=python_impl)
+        self.udfs.register(udf)
+        return udf
+
+    def register_table_udf(self, name: str, matlab_source: str,
+                           param_types: list[ht.HorseType],
+                           output_columns: list[tuple[str, ht.HorseType]],
+                           python_impl=None) -> TableUDFDef:
+        udf = TableUDFDef(name, list(param_types),
+                          list(output_columns),
+                          matlab_source=matlab_source,
+                          python_impl=python_impl)
+        self.udfs.register(udf)
+        return udf
+
+    # -- SQL -----------------------------------------------------------------
+
+    def plan_sql(self, sql: str) -> dict:
+        """Parse + plan + serialize; the JSON handed to the translator."""
+        select = parse_sql(sql)
+        plan = plan_query(select, self.db.catalog(), self.udfs)
+        return plan_to_json(plan)
+
+    def compile_sql(self, sql: str, opt_level: str = "opt",
+                    backend: str = "python") -> CompiledQuery:
+        plan_json = self.plan_sql(sql)
+        module = build_query_module(plan_json, self.udfs)
+        program = compile_module(module, opt_level, backend=backend)
+        return CompiledQuery(sql, plan_json, module, program, self)
+
+    def run_sql(self, sql: str, n_threads: int = 1,
+                opt_level: str = "opt", backend: str = "python",
+                **kwargs) -> TableValue:
+        compiled = self.compile_sql(sql, opt_level, backend=backend)
+        return compiled.run(n_threads=n_threads, **kwargs)
+
+    # -- standalone MATLAB -------------------------------------------------------
+
+    def compile_matlab_function(self, source: str, param_specs=None,
+                                opt_level: str = "opt",
+                                backend: str = "python") -> MatlabProgram:
+        return compile_matlab(source, param_specs, opt_level=opt_level,
+                              backend=backend)

@@ -1,0 +1,131 @@
+"""Merging SQL-derived and MATLAB-derived HorseIR (paper Section 3.3).
+
+The two code paths meet here: the plan translator produces a ``main``
+method whose UDF invocations are placeholder method calls, and the MATLAB
+frontend produces one HorseIR method per (specialized) MATLAB function.
+``build_query_module`` integrates both into a single module — which the
+optimizer then inlines and fuses holistically (Section 3.4.2).
+"""
+
+from __future__ import annotations
+
+from repro.core import ir
+from repro.core import types as ht
+from repro.errors import UDFError
+from repro.matlang.frontend import matlab_to_module
+from repro.sql.plan_to_ir import json_plan_to_method
+from repro.sql.udf import UDFRegistry
+
+__all__ = ["build_query_module", "referenced_udfs"]
+
+
+def build_query_module(plan_json: dict, udfs: UDFRegistry,
+                       module_name: str = "Query") -> ir.Module:
+    """Translate plan + UDF sources into one merged HorseIR module."""
+    module = ir.Module(module_name)
+    module.add(json_plan_to_method(plan_json, udfs))
+    for udf_name in referenced_udfs(plan_json, udfs):
+        udf = udfs.get(udf_name)
+        if udf.matlab_source is None:
+            raise UDFError(
+                f"UDF {udf.name!r} has no MATLAB source; HorsePower "
+                f"cannot translate it")
+        specs = [_param_spec(t) for t in udf.param_types]
+        udf_module = matlab_to_module(udf.matlab_source, specs,
+                                      module_name=f"udf_{udf.name}")
+        _merge_udf_methods(module, udf_module, udf.name)
+    return module
+
+
+def referenced_udfs(plan_json: dict, udfs: UDFRegistry) -> list[str]:
+    """UDF names invoked anywhere in the plan, in first-use order."""
+    found: list[str] = []
+
+    def visit_expr(node) -> None:
+        if not isinstance(node, dict):
+            return
+        if node.get("kind") == "call" and udfs.is_udf(node["name"]):
+            name = udfs.get(node["name"]).name
+            if name not in found:
+                found.append(name)
+        for value in node.values():
+            if isinstance(value, dict):
+                visit_expr(value)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, dict):
+                        visit_expr(item)
+                    elif isinstance(item, list):
+                        for sub in item:
+                            visit_expr(sub)
+
+    def visit_node(node: dict) -> None:
+        if node["op"] == "table_udf":
+            name = udfs.get(node["udf"]).name
+            if name not in found:
+                found.append(name)
+        if "predicate" in node:
+            visit_expr(node["predicate"])
+        for _, expr in node.get("items", []):
+            visit_expr(expr)
+        for key in ("child", "left", "right"):
+            if key in node:
+                visit_node(node[key])
+
+    visit_node(plan_json)
+    return found
+
+
+def _param_spec(type_: ht.HorseType) -> tuple[str, str]:
+    # Dates cross the UDF boundary as int64 day counts (see plan_to_ir).
+    if type_ == ht.DATE:
+        return ("i64", "vector")
+    return (type_.kind, "vector")
+
+
+def _merge_udf_methods(target: ir.Module, source: ir.Module,
+                       entry_name: str) -> None:
+    """Copy the UDF module's methods into the query module.
+
+    The MATLAB entry function may not share the UDF's registered name;
+    it is renamed (the Tamer already names specializations uniquely, so
+    helpers copy over as-is)."""
+    entry = source.entry
+    rename = {entry.name: entry_name}
+    for method in source.methods.values():
+        new_name = rename.get(method.name, method.name)
+        if new_name in target.methods:
+            raise UDFError(
+                f"method name collision while merging UDF "
+                f"{entry_name!r}: {new_name!r}")
+        target.add(ir.Method(new_name, method.params, method.ret_type,
+                             _rename_calls(method.body, rename)))
+
+
+def _rename_calls(body: list[ir.Stmt], rename: dict[str, str]) \
+        -> list[ir.Stmt]:
+    out: list[ir.Stmt] = []
+    for stmt in body:
+        if isinstance(stmt, ir.Assign):
+            out.append(ir.Assign(stmt.target, stmt.type,
+                                 _rename_expr_calls(stmt.expr, rename)))
+        elif isinstance(stmt, ir.Return):
+            out.append(ir.Return(_rename_expr_calls(stmt.expr, rename)))
+        elif isinstance(stmt, ir.If):
+            out.append(ir.If(_rename_expr_calls(stmt.cond, rename),
+                             _rename_calls(stmt.then_body, rename),
+                             _rename_calls(stmt.else_body, rename)))
+        elif isinstance(stmt, ir.While):
+            out.append(ir.While(_rename_expr_calls(stmt.cond, rename),
+                                _rename_calls(stmt.body, rename)))
+        else:
+            out.append(stmt)
+    return out
+
+
+def _rename_expr_calls(expr: ir.Expr, rename: dict[str, str]) -> ir.Expr:
+    def visit(node: ir.Expr) -> ir.Expr:
+        if isinstance(node, ir.MethodCall) and node.name in rename:
+            return ir.MethodCall(rename[node.name], node.args)
+        return node
+    return ir.map_expr(expr, visit)

@@ -1,0 +1,22 @@
+"""``matlang`` — the MATLAB-subset frontend (paper Section 3.2).
+
+The reproduction of the McLab pipeline in Figure 5:
+
+* :mod:`.lexer` / :mod:`.parser` / :mod:`.ast` — parse MATLAB source
+  written in the array-programming style the paper supports (functions,
+  ``if``/``elseif``/``else``, ``while``, logical & numeric indexing,
+  ranges, concatenation, the vector builtin library — no ``for`` loops);
+* :mod:`.interp` — a tree-walking evaluator over NumPy arrays, the
+  stand-in for the MATLAB interpreter baseline in Table 1;
+* :mod:`.tamer` — Tamer-style type and shape inference seeded from the
+  entry function's parameter types, producing typed three-address
+  **TameIR** (:mod:`.tameir`);
+* :mod:`.to_horseir` — the TameIR→HorseIR generator HorsePower adds to
+  the McLab framework.
+
+The high-level entry point is :func:`compile_matlab`.
+"""
+
+from repro.matlang.frontend import compile_matlab, matlab_to_module  # noqa: F401
+
+__all__ = ["compile_matlab", "matlab_to_module"]

@@ -1,0 +1,183 @@
+"""AST for the MATLAB subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Program", "Function", "Stmt", "Assign", "If", "While", "Return",
+    "Expr", "Num", "Str", "Bool", "VarRef", "Call", "BinOp", "UnOp",
+    "Range", "ArrayLit", "EndRef",
+]
+
+
+class Expr:
+    """Base class for MATLAB expressions."""
+
+
+@dataclass
+class Num(Expr):
+    value: float
+    #: True when the literal was written without a decimal point.
+    is_integer: bool = False
+
+    def __str__(self) -> str:
+        if self.is_integer:
+            return str(int(self.value))
+        return repr(self.value)
+
+
+@dataclass
+class Str(Expr):
+    value: str
+
+    def __str__(self) -> str:
+        return f"'{self.value}'"
+
+
+@dataclass
+class Bool(Expr):
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class Call(Expr):
+    """``name(args...)`` — a function call *or* array indexing.
+
+    MATLAB's grammar cannot distinguish the two; the Tamer resolves each
+    occurrence using the set of known functions and in-scope variables.
+    """
+
+    name: str
+    args: list[Expr]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass
+class BinOp(Expr):
+    """Binary operation; ``op`` is the MATLAB spelling (``.*``, ``<=``,
+    ``&``...)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass
+class UnOp(Expr):
+    op: str  # "-" or "~"
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass
+class Range(Expr):
+    """``start:stop`` or ``start:step:stop`` (inclusive, like MATLAB)."""
+
+    start: Expr
+    stop: Expr
+    step: Expr | None = None
+
+    def __str__(self) -> str:
+        if self.step is None:
+            return f"{self.start}:{self.stop}"
+        return f"{self.start}:{self.step}:{self.stop}"
+
+
+@dataclass
+class ArrayLit(Expr):
+    """``[a, b, c]`` — row-vector concatenation of elements/vectors."""
+
+    items: list[Expr]
+
+    def __str__(self) -> str:
+        return f"[{', '.join(str(i) for i in self.items)}]"
+
+
+@dataclass
+class EndRef(Expr):
+    """The ``end`` keyword inside an indexing expression."""
+
+    def __str__(self) -> str:
+        return "end"
+
+
+class Stmt:
+    """Base class for MATLAB statements."""
+
+
+@dataclass
+class Assign(Stmt):
+    target: str
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.expr};"
+
+
+@dataclass
+class If(Stmt):
+    """``if``/``elseif``*/``else`` — branches is a list of (cond, body)."""
+
+    branches: list[tuple[Expr, list[Stmt]]]
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    """Bare ``return``: exit with the current value of the output variable."""
+
+
+@dataclass
+class Function:
+    """``function out = name(params...) ... end``.
+
+    Only single-output functions are supported, matching the paper's UDF
+    restriction (one return value per function).
+    """
+
+    name: str
+    params: list[str]
+    output: str
+    body: list[Stmt]
+
+
+@dataclass
+class Program:
+    """An ordered set of functions; the first is the entry function."""
+
+    functions: list[Function]
+
+    def function(self, name: str) -> Function:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)
+
+    @property
+    def entry(self) -> Function:
+        return self.functions[0]

@@ -1,0 +1,209 @@
+"""The MATLAB-subset builtin library.
+
+One registry shared by the interpreter (NumPy evaluation), the Tamer
+(type/shape inference) and the HorseIR generator (lowering spec).  The set
+covers what the paper's benchmarks need: elementwise math, reductions,
+scans, vector constructors, and the string predicates the TPC-H UDFs use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import MatlangRuntimeError, MatlangTypeError
+
+__all__ = ["MatBuiltin", "MATLAB_BUILTINS", "is_builtin"]
+
+
+@dataclass(frozen=True)
+class MatBuiltin:
+    """One MATLAB builtin: evaluation + inference + lowering metadata."""
+
+    name: str
+    min_args: int
+    max_args: int
+    #: NumPy implementation; receives numpy arrays / python scalars.
+    run: Callable
+    #: result type rule: "same" (first arg's element type), "f64", "bool",
+    #: "i64", or "str".
+    result_type: str
+    #: result shape rule: "same" (first arg), "scalar", "vector".
+    result_shape: str
+    #: HorseIR lowering: builtin name for the 1:1 case, or a marker the
+    #: generator special-cases ("#zeros", "#ones", "#length", "#minmax",
+    #: "#mod", "#strcmp", ...).
+    lower: str
+
+
+def _check_args(name: str, args: list, low: int, high: int) -> None:
+    if not (low <= len(args) <= high):
+        expected = str(low) if low == high else f"{low}..{high}"
+        raise MatlangRuntimeError(
+            f"{name} expects {expected} argument(s), got {len(args)}")
+
+
+def _as_length(value) -> float:
+    array = np.asarray(value)
+    return float(array.size)
+
+
+def _zeros(*args):
+    if len(args) == 1:
+        n = int(np.asarray(args[0]).reshape(-1)[0])
+    else:
+        rows = int(np.asarray(args[0]).reshape(-1)[0])
+        if rows != 1:
+            raise MatlangRuntimeError(
+                "only 1-by-N vectors are supported (zeros(1, n))")
+        n = int(np.asarray(args[1]).reshape(-1)[0])
+    return np.zeros(n, dtype=np.float64)
+
+
+def _ones(*args):
+    return _zeros(*args) + 1.0
+
+
+def _minmax(reducer, pair):
+    def apply(*args):
+        if len(args) == 1:
+            data = np.asarray(args[0])
+            if data.size == 0:
+                raise MatlangRuntimeError("min/max of an empty vector")
+            return reducer(data)
+        return pair(np.asarray(args[0]), np.asarray(args[1]))
+    return apply
+
+
+def _strcmp(a, b):
+    left = np.asarray(a, dtype=object).reshape(-1)
+    right = np.asarray(b, dtype=object).reshape(-1)
+    if len(left) == 1 and len(right) > 1:
+        left, right = right, left
+    if len(right) == 1:
+        target = right[0]
+        return np.fromiter((v == target for v in left), dtype=np.bool_,
+                           count=len(left))
+    return np.fromiter((x == y for x, y in zip(left, right)),
+                       dtype=np.bool_, count=len(left))
+
+
+def _starts_with(values, prefix):
+    values = np.asarray(values, dtype=object).reshape(-1)
+    prefix = np.asarray(prefix, dtype=object).reshape(-1)[0]
+    return np.fromiter((v.startswith(prefix) for v in values),
+                       dtype=np.bool_, count=len(values))
+
+
+def _ismember(values, pool):
+    values = np.asarray(values).reshape(-1)
+    pool_set = set(np.asarray(pool).reshape(-1).tolist())
+    return np.fromiter((v in pool_set for v in values), dtype=np.bool_,
+                       count=len(values))
+
+
+MATLAB_BUILTINS: dict[str, MatBuiltin] = {}
+
+
+def _register(name: str, min_args: int, max_args: int, run, result_type: str,
+              result_shape: str, lower: str) -> None:
+    MATLAB_BUILTINS[name] = MatBuiltin(name, min_args, max_args, run,
+                                       result_type, result_shape, lower)
+
+
+_register("abs", 1, 1, np.abs, "same", "same", "abs")
+_register("exp", 1, 1, np.exp, "f64", "same", "exp")
+_register("log", 1, 1, np.log, "f64", "same", "log")
+_register("sqrt", 1, 1, np.sqrt, "f64", "same", "sqrt")
+_register("sign", 1, 1, np.sign, "same", "same", "sign")
+_register("floor", 1, 1, np.floor, "same", "same", "floor")
+_register("ceil", 1, 1, np.ceil, "same", "same", "ceil")
+_register("round", 1, 1, np.round, "same", "same", "round")
+_register("mod", 2, 2, np.mod, "same", "same", "mod")
+
+_register("sum", 1, 1, np.sum, "f64", "scalar", "sum")
+_register("mean", 1, 1, np.mean, "f64", "scalar", "avg")
+_register("cumsum", 1, 1, np.cumsum, "f64", "same", "cumsum")
+_register("any", 1, 1, np.any, "bool", "scalar", "any")
+_register("all", 1, 1, np.all, "bool", "scalar", "all")
+_register("min", 1, 2, _minmax(np.min, np.minimum), "same", "#minmax",
+          "#min")
+_register("max", 1, 2, _minmax(np.max, np.maximum), "same", "#minmax",
+          "#max")
+
+_register("length", 1, 1, _as_length, "f64", "scalar", "#length")
+_register("numel", 1, 1, _as_length, "f64", "scalar", "#length")
+_register("zeros", 1, 2, _zeros, "f64", "vector", "#zeros")
+_register("ones", 1, 2, _ones, "f64", "vector", "#ones")
+
+_register("strcmp", 2, 2, _strcmp, "bool", "#broadcast", "#strcmp")
+_register("startsWith", 2, 2, _starts_with, "bool", "same", "startswith")
+_register("ismember", 2, 2, _ismember, "bool", "same", "member")
+
+
+def is_builtin(name: str) -> bool:
+    return name in MATLAB_BUILTINS
+
+
+def infer_result_type(builtin: MatBuiltin, arg_types: list[str]) -> str:
+    """Element-type inference over the small matlang lattice
+    (``f64``/``bool``/``str``)."""
+    if builtin.result_type == "same":
+        if not arg_types:
+            raise MatlangTypeError(f"{builtin.name} with no arguments")
+        return arg_types[0]
+    return builtin.result_type
+
+
+def _table_builtin(*args):
+    """MATLAB ``table(col1, col2, ...)`` — bundles columns for a table
+    UDF's return value.  The interpreter returns a plain list of arrays."""
+    return [np.atleast_1d(np.asarray(a)) for a in args]
+
+
+_register("table", 1, 16, _table_builtin, "cols", "vector", "#table")
+
+
+# -- extended library (beyond the paper's minimum subset) --------------------
+
+def _sort(values):
+    return np.sort(np.asarray(values, dtype=np.float64).reshape(-1))
+
+
+def _find(values):
+    """1-based indices of nonzero elements (MATLAB semantics)."""
+    return (np.nonzero(np.asarray(values).reshape(-1))[0]
+            + 1).astype(np.float64)
+
+
+def _var(values):
+    data = np.asarray(values, dtype=np.float64).reshape(-1)
+    if data.size < 2:
+        raise MatlangRuntimeError("var needs at least two elements")
+    return float(np.var(data, ddof=1))
+
+
+def _std(values):
+    return float(np.sqrt(_var(values)))
+
+
+def _dot(a, b):
+    return float(np.dot(np.asarray(a, dtype=np.float64).reshape(-1),
+                        np.asarray(b, dtype=np.float64).reshape(-1)))
+
+
+def _isempty(values):
+    return np.asarray(values).size == 0
+
+
+_register("prod", 1, 1, np.prod, "f64", "scalar", "prod")
+_register("sort", 1, 1, _sort, "same", "vector", "#sort")
+_register("find", 1, 1, _find, "f64", "vector", "#find")
+_register("var", 1, 1, _var, "f64", "scalar", "#var")
+_register("std", 1, 1, _std, "f64", "scalar", "#std")
+_register("dot", 2, 2, _dot, "f64", "scalar", "#dot")
+_register("fliplr", 1, 1, lambda v: np.asarray(v).reshape(-1)[::-1],
+          "same", "same", "reverse")
+_register("isempty", 1, 1, _isempty, "bool", "scalar", "#isempty")

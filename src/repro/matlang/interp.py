@@ -1,0 +1,237 @@
+"""Tree-walking interpreter for the MATLAB subset.
+
+The Table 1 baseline: executes array programs the way the MATLAB
+interpreter does for these benchmarks — one eager, vectorized library call
+per operation, materializing every intermediate array.  Values are NumPy
+1-D arrays (row vectors) or Python scalars.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MatlangRuntimeError
+from repro.matlang import ast
+from repro.matlang.builtins import MATLAB_BUILTINS, _check_args
+from repro.matlang.parser import parse_program
+
+__all__ = ["MatlabInterpreter", "run_matlab"]
+
+_MAX_LOOP_ITERATIONS = 100_000_000
+
+_BINOPS = {
+    "+": np.add, "-": np.subtract, ".*": np.multiply,
+    "./": np.true_divide, ".^": np.power, "^": np.power,
+    "==": np.equal, "~=": np.not_equal,
+    "<": np.less, "<=": np.less_equal,
+    ">": np.greater, ">=": np.greater_equal,
+    "&": np.logical_and, "|": np.logical_or,
+}
+
+
+class _ReturnSignal(Exception):
+    pass
+
+
+def _apply_binop(op: str, left, right):
+    if op in ("*", "/"):
+        # Matrix operators: legal in the subset only when at least one
+        # operand is scalar (then identical to .*, ./).
+        if np.asarray(left).size > 1 and np.asarray(right).size > 1:
+            raise MatlangRuntimeError(
+                f"vector {op} vector is matrix algebra; use .{op} for "
+                f"elementwise operations")
+        op = "." + op
+    fn = _BINOPS.get(op)
+    if fn is None:
+        raise MatlangRuntimeError(f"unsupported operator {op!r}")
+    return fn(left, right)
+
+
+def _scalar(value) -> float:
+    array = np.asarray(value)
+    if array.size != 1:
+        raise MatlangRuntimeError("expected a scalar value")
+    return float(array.reshape(-1)[0])
+
+
+def _make_range(start: float, stop: float, step: float) -> np.ndarray:
+    if step == 0:
+        raise MatlangRuntimeError("range step must be nonzero")
+    # MATLAB ranges include the endpoint when reachable.
+    count = int(np.floor((stop - start) / step + 1e-10)) + 1
+    if count <= 0:
+        return np.empty(0, dtype=np.float64)
+    return start + step * np.arange(count, dtype=np.float64)
+
+
+class MatlabInterpreter:
+    """Evaluates a parsed program; the entry function is the first one."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self._functions = {fn.name: fn for fn in program.functions}
+
+    def run(self, *args, function: str | None = None):
+        """Call the entry function (or ``function``) with NumPy inputs."""
+        name = function if function is not None else self.program.entry.name
+        fn = self._functions.get(name)
+        if fn is None:
+            raise MatlangRuntimeError(f"unknown function {name!r}")
+        return self._call(fn, list(args))
+
+    # -- internals ----------------------------------------------------------
+
+    def _call(self, fn: ast.Function, args: list):
+        if len(args) != len(fn.params):
+            raise MatlangRuntimeError(
+                f"{fn.name} expects {len(fn.params)} argument(s), "
+                f"got {len(args)}")
+        env = dict(zip(fn.params, args))
+        try:
+            self._exec_body(fn.body, env)
+        except _ReturnSignal:
+            pass
+        if fn.output not in env:
+            raise MatlangRuntimeError(
+                f"{fn.name} finished without assigning its output "
+                f"{fn.output!r}")
+        return env[fn.output]
+
+    def _exec_body(self, body: list[ast.Stmt], env: dict) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                env[stmt.target] = self._eval(stmt.expr, env)
+            elif isinstance(stmt, ast.Return):
+                raise _ReturnSignal()
+            elif isinstance(stmt, ast.If):
+                for cond, branch in stmt.branches:
+                    if self._truth(cond, env):
+                        self._exec_body(branch, env)
+                        break
+                else:
+                    self._exec_body(stmt.else_body, env)
+            elif isinstance(stmt, ast.While):
+                iterations = 0
+                while self._truth(stmt.cond, env):
+                    self._exec_body(stmt.body, env)
+                    iterations += 1
+                    if iterations > _MAX_LOOP_ITERATIONS:
+                        raise MatlangRuntimeError(
+                            "while loop exceeded the iteration limit")
+            else:
+                raise MatlangRuntimeError(
+                    f"unknown statement {type(stmt).__name__}")
+
+    def _truth(self, cond: ast.Expr, env: dict) -> bool:
+        value = np.asarray(self._eval(cond, env))
+        if value.size != 1:
+            raise MatlangRuntimeError(
+                "conditions must be scalar in the supported subset")
+        return bool(value.reshape(-1)[0])
+
+    def _eval(self, expr: ast.Expr, env: dict):
+        if isinstance(expr, ast.Num):
+            return expr.value
+        if isinstance(expr, ast.Str):
+            return expr.value
+        if isinstance(expr, ast.Bool):
+            return expr.value
+        if isinstance(expr, ast.VarRef):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise MatlangRuntimeError(
+                    f"undefined variable {expr.name!r}") from None
+        if isinstance(expr, ast.UnOp):
+            value = self._eval(expr.operand, env)
+            if expr.op == "-":
+                return np.negative(value)
+            return np.logical_not(value)
+        if isinstance(expr, ast.BinOp):
+            left = self._eval(expr.left, env)
+            right = self._eval(expr.right, env)
+            return _apply_binop(expr.op, left, right)
+        if isinstance(expr, ast.Range):
+            start = _scalar(self._eval(expr.start, env))
+            stop = _scalar(self._eval(expr.stop, env))
+            step = 1.0
+            if expr.step is not None:
+                step = _scalar(self._eval(expr.step, env))
+            return _make_range(start, stop, step)
+        if isinstance(expr, ast.ArrayLit):
+            parts = [np.atleast_1d(np.asarray(self._eval(item, env),
+                                              dtype=np.float64))
+                     for item in expr.items]
+            if not parts:
+                return np.empty(0, dtype=np.float64)
+            return np.concatenate(parts)
+        if isinstance(expr, ast.Call):
+            return self._call_or_index(expr, env)
+        if isinstance(expr, ast.EndRef):
+            raise MatlangRuntimeError("'end' outside of indexing")
+        raise MatlangRuntimeError(
+            f"unknown expression {type(expr).__name__}")
+
+    def _call_or_index(self, expr: ast.Call, env: dict):
+        if expr.name in env:
+            return self._index(expr, env)
+        user_fn = self._functions.get(expr.name)
+        if user_fn is not None:
+            args = [self._eval(a, env) for a in expr.args]
+            return self._call(user_fn, args)
+        builtin = MATLAB_BUILTINS.get(expr.name)
+        if builtin is not None:
+            args = [self._eval(a, env) for a in expr.args]
+            _check_args(expr.name, args, builtin.min_args, builtin.max_args)
+            return builtin.run(*args)
+        raise MatlangRuntimeError(
+            f"{expr.name!r} is neither a variable nor a known function")
+
+    def _index(self, expr: ast.Call, env: dict):
+        base = np.atleast_1d(np.asarray(env[expr.name]))
+        if len(expr.args) != 1:
+            raise MatlangRuntimeError(
+                "only one-dimensional indexing A(I) is supported")
+        index = self._eval_index(expr.args[0], env, len(base))
+        if isinstance(index, np.ndarray) and index.dtype == np.bool_:
+            if len(index) != len(base):
+                raise MatlangRuntimeError(
+                    "logical index length must match the array")
+            return base[index]
+        positions = np.atleast_1d(np.asarray(index))
+        as_int = positions.astype(np.int64)
+        if np.any(as_int < 1) or np.any(as_int > len(base)):
+            raise MatlangRuntimeError(
+                f"index out of bounds for {expr.name!r} "
+                f"(length {len(base)})")
+        return base[as_int - 1]
+
+    def _eval_index(self, expr: ast.Expr, env: dict, end_value: int):
+        """Evaluate an index expression, resolving ``end`` to the array
+        length."""
+        if isinstance(expr, ast.EndRef):
+            return float(end_value)
+        if isinstance(expr, ast.Range):
+            start = _scalar(self._eval_index(expr.start, env, end_value))
+            stop = _scalar(self._eval_index(expr.stop, env, end_value))
+            step = 1.0
+            if expr.step is not None:
+                step = _scalar(self._eval_index(expr.step, env, end_value))
+            return _make_range(start, stop, step)
+        if isinstance(expr, ast.BinOp):
+            left = self._eval_index(expr.left, env, end_value)
+            right = self._eval_index(expr.right, env, end_value)
+            return _apply_binop(expr.op, left, right)
+        if isinstance(expr, ast.UnOp):
+            value = self._eval_index(expr.operand, env, end_value)
+            if expr.op == "-":
+                return np.negative(value)
+            return np.logical_not(value)
+        return self._eval(expr, env)
+
+
+def run_matlab(source: str, *args, function: str | None = None):
+    """Parse and execute MATLAB source with the given inputs."""
+    return MatlabInterpreter(parse_program(source)).run(
+        *args, function=function)

@@ -1,0 +1,76 @@
+"""Lexer for the MATLAB subset.
+
+Newlines are significant (they terminate statements), so they are emitted
+as ``NEWLINE`` tokens; ``...`` continues a line.  ``%`` starts a comment.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import MatlangSyntaxError
+
+__all__ = ["Token", "tokenize"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<CONT>\.\.\.[^\n]*\n)
+  | (?P<COMMENT>%[^\n]*)
+  | (?P<NEWLINE>\n)
+  | (?P<WS>[ \t\r]+)
+  | (?P<NUMBER>\d+(?:\.\d*)?(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?)
+  | (?P<STRING>'(?:[^'\n]|'')*')
+  | (?P<ID>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<OP>\.\*|\./|\.\^|==|~=|<=|>=|&&|\|\||[-+*/^<>=&|~:;,()\[\]])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"function", "if", "elseif", "else", "while", "end", "return",
+             "true", "false", "for"}
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(source: str) -> list[Token]:
+    if not source.endswith("\n"):
+        source += "\n"
+    tokens: list[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise MatlangSyntaxError(
+                f"unexpected character {source[pos]!r}",
+                line, pos - line_start + 1)
+        kind = match.lastgroup
+        text = match.group()
+        column = match.start() - line_start + 1
+        if kind == "NEWLINE":
+            if tokens and tokens[-1].kind != "NEWLINE":
+                tokens.append(Token("NEWLINE", "\n", line, column))
+        elif kind == "ID" and text in _KEYWORDS:
+            tokens.append(Token(text.upper(), text, line, column))
+        elif kind not in ("WS", "COMMENT", "CONT"):
+            tokens.append(Token(kind, text, line, column))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = match.start() + text.rfind("\n") + 1
+        pos = match.end()
+    if tokens and tokens[-1].kind != "NEWLINE":
+        tokens.append(Token("NEWLINE", "\n", line, 1))
+    tokens.append(Token("EOF", "", line, 1))
+    return tokens

@@ -1,0 +1,323 @@
+"""Recursive-descent parser for the MATLAB subset.
+
+Grammar notes:
+
+* statements are newline/semicolon terminated;
+* ``for`` is rejected with a pointed message — the paper's subset supports
+  "MATLAB programs in an array programming style without using the
+  for-loop construct";
+* ``end`` is a block terminator at statement level and the last-index
+  marker inside parentheses (``A(2:end)``); the parser tracks parenthesis
+  depth to disambiguate;
+* only single-output functions are accepted (the paper's UDF rule).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MatlangSyntaxError
+from repro.matlang import ast
+from repro.matlang.lexer import Token, tokenize
+
+__all__ = ["parse_program"]
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse one or more MATLAB functions; the first is the entry."""
+    return _Parser(source).parse_program()
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+        self._pos = 0
+        self._paren_depth = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        token = self._current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._current
+        if not self._check(kind, text):
+            wanted = text if text is not None else kind
+            raise MatlangSyntaxError(
+                f"expected {wanted!r}, found {token.text!r}",
+                token.line, token.column)
+        return self._advance()
+
+    def _skip_newlines(self) -> None:
+        while self._current.kind in ("NEWLINE",) \
+                or self._check("OP", ";") or self._check("OP", ","):
+            self._advance()
+
+    def _end_of_stmt(self) -> None:
+        token = self._current
+        if token.kind in ("NEWLINE", "EOF") or self._check("OP", ";") \
+                or self._check("OP", ","):
+            self._skip_newlines()
+            return
+        raise MatlangSyntaxError(
+            f"expected end of statement, found {token.text!r}",
+            token.line, token.column)
+
+    # -- program / functions ------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        functions: list[ast.Function] = []
+        self._skip_newlines()
+        while not self._check("EOF"):
+            functions.append(self._parse_function())
+            self._skip_newlines()
+        if not functions:
+            raise MatlangSyntaxError("no functions found")
+        return ast.Program(functions)
+
+    def _parse_function(self) -> ast.Function:
+        self._expect("FUNCTION")
+        if self._check("OP", "["):
+            token = self._current
+            raise MatlangSyntaxError(
+                "multiple output values are unsupported; UDFs must return "
+                "a single value", token.line, token.column)
+        output = self._expect("ID").text
+        self._expect("OP", "=")
+        name = self._expect("ID").text
+        params: list[str] = []
+        self._expect("OP", "(")
+        if not self._check("OP", ")"):
+            while True:
+                params.append(self._expect("ID").text)
+                if not self._accept("OP", ","):
+                    break
+        self._expect("OP", ")")
+        self._skip_newlines()
+        body = self._parse_body()
+        self._accept("END")
+        self._skip_newlines()
+        return ast.Function(name, params, output, body)
+
+    def _parse_body(self) -> list[ast.Stmt]:
+        """Statements until END / ELSEIF / ELSE / FUNCTION / EOF."""
+        body: list[ast.Stmt] = []
+        self._skip_newlines()
+        while self._current.kind not in ("END", "ELSEIF", "ELSE",
+                                         "FUNCTION", "EOF"):
+            body.append(self._parse_stmt())
+            self._skip_newlines()
+        return body
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_stmt(self) -> ast.Stmt:
+        token = self._current
+        if token.kind == "FOR":
+            raise MatlangSyntaxError(
+                "for loops are unsupported; write array operations instead "
+                "(the supported subset is vectorized MATLAB)",
+                token.line, token.column)
+        if self._accept("RETURN"):
+            self._end_of_stmt()
+            return ast.Return()
+        if self._accept("IF"):
+            return self._parse_if()
+        if self._accept("WHILE"):
+            cond = self._parse_expr()
+            self._end_of_stmt()
+            body = self._parse_body()
+            self._expect("END")
+            self._end_of_stmt()
+            return ast.While(cond, body)
+        target = self._expect("ID").text
+        self._expect("OP", "=")
+        expr = self._parse_expr()
+        self._end_of_stmt()
+        return ast.Assign(target, expr)
+
+    def _parse_if(self) -> ast.If:
+        branches: list[tuple[ast.Expr, list[ast.Stmt]]] = []
+        cond = self._parse_expr()
+        self._end_of_stmt()
+        branches.append((cond, self._parse_body()))
+        else_body: list[ast.Stmt] = []
+        while self._accept("ELSEIF"):
+            cond = self._parse_expr()
+            self._end_of_stmt()
+            branches.append((cond, self._parse_body()))
+        if self._accept("ELSE"):
+            self._skip_newlines()
+            else_body = self._parse_body()
+        self._expect("END")
+        self._end_of_stmt()
+        return ast.If(branches, else_body)
+
+    # -- expressions (precedence climbing) ------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._check("OP", "||") or self._check("OP", "|"):
+            op = self._advance().text
+            right = self._parse_and()
+            left = ast.BinOp("|" if op == "||" else op, left, right)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._check("OP", "&&") or self._check("OP", "&"):
+            op = self._advance().text
+            right = self._parse_not()
+            left = ast.BinOp("&" if op == "&&" else op, left, right)
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._check("OP", "~"):
+            self._advance()
+            return ast.UnOp("~", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_range()
+        while self._current.kind == "OP" \
+                and self._current.text in ("==", "~=", "<", "<=", ">", ">="):
+            op = self._advance().text
+            right = self._parse_range()
+            left = ast.BinOp(op, left, right)
+        return left
+
+    def _parse_range(self) -> ast.Expr:
+        left = self._parse_additive()
+        if self._check("OP", ":"):
+            self._advance()
+            middle = self._parse_additive()
+            if self._accept("OP", ":"):
+                stop = self._parse_additive()
+                return ast.Range(left, stop, step=middle)
+            return ast.Range(left, middle)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._current.kind == "OP" and self._current.text in ("+", "-"):
+            op = self._advance().text
+            right = self._parse_multiplicative()
+            left = ast.BinOp(op, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._current.kind == "OP" \
+                and self._current.text in ("*", "/", ".*", "./"):
+            op = self._advance().text
+            right = self._parse_unary()
+            left = ast.BinOp(op, left, right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._check("OP", "-"):
+            self._advance()
+            return ast.UnOp("-", self._parse_unary())
+        if self._check("OP", "+"):
+            self._advance()
+            return self._parse_unary()
+        return self._parse_power()
+
+    def _parse_power(self) -> ast.Expr:
+        left = self._parse_postfix()
+        if self._current.kind == "OP" and self._current.text in ("^", ".^"):
+            op = self._advance().text
+            # Exponentiation is right-associative.
+            right = self._parse_unary()
+            return ast.BinOp(op, left, right)
+        return left
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while self._check("OP", "(") and isinstance(expr, ast.VarRef):
+            expr = ast.Call(expr.name, self._parse_call_args())
+        return expr
+
+    def _parse_call_args(self) -> list[ast.Expr]:
+        self._expect("OP", "(")
+        self._paren_depth += 1
+        args: list[ast.Expr] = []
+        if not self._check("OP", ")"):
+            while True:
+                args.append(self._parse_expr())
+                if not self._accept("OP", ","):
+                    break
+        self._paren_depth -= 1
+        self._expect("OP", ")")
+        return args
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._current
+        if token.kind == "NUMBER":
+            self._advance()
+            return ast.Num(float(token.text),
+                           is_integer="." not in token.text
+                           and "e" not in token.text.lower())
+        if token.kind == "STRING":
+            self._advance()
+            return ast.Str(token.text[1:-1].replace("''", "'"))
+        if token.kind == "TRUE":
+            self._advance()
+            return ast.Bool(True)
+        if token.kind == "FALSE":
+            self._advance()
+            return ast.Bool(False)
+        if token.kind == "END":
+            if self._paren_depth == 0:
+                raise MatlangSyntaxError(
+                    "'end' outside of an indexing expression",
+                    token.line, token.column)
+            self._advance()
+            return ast.EndRef()
+        if token.kind == "ID":
+            self._advance()
+            return ast.VarRef(token.text)
+        if self._accept("OP", "("):
+            self._paren_depth += 1
+            expr = self._parse_expr()
+            self._paren_depth -= 1
+            self._expect("OP", ")")
+            return expr
+        if self._check("OP", "["):
+            return self._parse_array_literal()
+        raise MatlangSyntaxError(f"unexpected token {token.text!r}",
+                                 token.line, token.column)
+
+    def _parse_array_literal(self) -> ast.Expr:
+        self._expect("OP", "[")
+        self._paren_depth += 1
+        items: list[ast.Expr] = []
+        while not self._check("OP", "]"):
+            items.append(self._parse_expr())
+            self._accept("OP", ",")
+            if self._check("NEWLINE"):
+                token = self._current
+                raise MatlangSyntaxError(
+                    "matrix literals (multiple rows) are unsupported; "
+                    "the subset covers 1-by-N row vectors",
+                    token.line, token.column)
+        self._paren_depth -= 1
+        self._expect("OP", "]")
+        return ast.ArrayLit(items)

@@ -1,0 +1,138 @@
+"""TameIR: the typed three-address IR between MATLAB and HorseIR.
+
+Mirrors McLab's TameIR role (paper Figure 5): after the Tamer resolves
+MATLAB's dynamic types and call/index ambiguity, the program is a flat
+sequence of typed statements that the HorseIR generator can translate
+one-for-one.
+
+Element types form a small lattice: ``bool < i64 < f64``, plus ``str`` and
+``date`` (dates arrive from SQL as day-resolution values and behave like
+``i64`` in arithmetic).  Shapes are ``scalar`` or ``vector``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MatlangTypeError
+
+__all__ = [
+    "TAtom", "TVar", "TConst", "TStmt", "TIf", "TWhile", "TReturn",
+    "TFunction", "TProgram", "unify_types", "unify_shapes",
+]
+
+_NUMERIC_ORDER = ("bool", "i64", "f64")
+ELEMENT_TYPES = ("bool", "i64", "f64", "str", "date", "cols")
+
+
+def unify_types(a: str, b: str) -> str:
+    """Least upper bound of two element types."""
+    if a == b:
+        return a
+    if a in _NUMERIC_ORDER and b in _NUMERIC_ORDER:
+        return _NUMERIC_ORDER[max(_NUMERIC_ORDER.index(a),
+                                  _NUMERIC_ORDER.index(b))]
+    if {a, b} == {"date", "i64"}:
+        return "i64"
+    raise MatlangTypeError(f"cannot unify types {a} and {b}")
+
+
+def unify_shapes(a: str, b: str) -> str:
+    """Broadcast rule: scalar disappears into vector."""
+    if a == b:
+        return a
+    return "vector"
+
+
+class TAtom:
+    """Operands of TameIR statements: variables or constants."""
+
+
+@dataclass
+class TVar(TAtom):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class TConst(TAtom):
+    value: object
+    type: str  # element type
+
+    def __str__(self) -> str:
+        if self.type == "str":
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass
+class TStmt:
+    """``target = op(args)`` with inferred element type and shape.
+
+    ``op`` values: ``copy``, the binary/unary operator names (``add``,
+    ``mul``, ``leq``, ``neg``, ``not``, ...), ``index`` (1-based numeric),
+    ``index_logical``, ``range`` (inclusive, args start/stop/step),
+    ``concat``, ``call:<builtin>`` and ``ucall:<function>``.
+    """
+
+    target: str
+    op: str
+    args: list[TAtom]
+    type: str
+    shape: str
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        return (f"{self.target}:{self.type}/{self.shape} = "
+                f"{self.op}({args})")
+
+
+@dataclass
+class TIf:
+    """Lowered if/elseif/else: each branch is (condition prelude,
+    condition variable, body)."""
+
+    branches: list[tuple[list, TVar, list]]
+    else_body: list = field(default_factory=list)
+
+
+@dataclass
+class TWhile:
+    """``while``: the condition prelude re-executes before every test."""
+
+    cond_prelude: list
+    cond: TVar
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class TReturn:
+    var: TVar
+
+
+@dataclass
+class TFunction:
+    name: str
+    #: (name, element type, shape) triples.
+    params: list[tuple[str, str, str]]
+    output: str
+    body: list
+    ret_type: str = "f64"
+    ret_shape: str = "vector"
+
+
+@dataclass
+class TProgram:
+    functions: list[TFunction]
+
+    def function(self, name: str) -> TFunction:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)
+
+    @property
+    def entry(self) -> TFunction:
+        return self.functions[0]

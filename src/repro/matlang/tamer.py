@@ -1,0 +1,428 @@
+"""The Tamer: MATLAB AST → typed TameIR (paper Section 3.2).
+
+Replicates the analysis order the paper describes: "the first set of type
+and shape information is derived from the parameters of the entry MATLAB
+function.  This information is then used to derive the type and shape
+information for any further variables computed by the statements in the
+rest of the program."
+
+* call-vs-index ambiguity is resolved with the variable environment and
+  the known-function sets;
+* user functions are specialized per argument signature (monomorphic
+  instantiation), so one MATLAB helper can serve differently-typed calls;
+* ``while`` bodies are inferred twice so loop-carried variables reach a
+  type fixpoint (the lattice height is 2, so twice suffices).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MatlangTypeError
+from repro.matlang import ast
+from repro.matlang import tameir as t
+from repro.matlang.builtins import MATLAB_BUILTINS, infer_result_type
+from repro.matlang.parser import parse_program
+
+__all__ = ["tame_program", "tame_source", "ParamSpec"]
+
+#: (element type, shape) pair describing one entry-function parameter.
+ParamSpec = tuple  # ("f64", "vector") etc.
+
+
+def tame_source(source: str,
+                param_specs: list[ParamSpec] | None = None) -> t.TProgram:
+    """Parse MATLAB source and run the Tamer on it."""
+    return tame_program(parse_program(source), param_specs)
+
+
+def tame_program(program: ast.Program,
+                 param_specs: list[ParamSpec] | None = None) -> t.TProgram:
+    """Type the whole program starting from the entry function.
+
+    ``param_specs`` gives (type, shape) for each entry parameter; vectors
+    of ``f64`` are assumed when omitted — the common case for columns.
+    """
+    entry = program.entry
+    if param_specs is None:
+        param_specs = [("f64", "vector")] * len(entry.params)
+    if len(param_specs) != len(entry.params):
+        raise MatlangTypeError(
+            f"entry function {entry.name!r} has {len(entry.params)} "
+            f"parameter(s) but {len(param_specs)} spec(s) were given")
+    tamer = _Tamer(program)
+    tamer.instantiate(entry.name, list(param_specs), plain_name=True)
+    # Callees finish taming before their callers, so reorder: the entry
+    # function must come first (it defines TProgram.entry / Module.entry).
+    ordered = sorted(tamer.results,
+                     key=lambda fn: 0 if fn.name == entry.name else 1)
+    return t.TProgram(ordered)
+
+
+class _Tamer:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self._functions = {fn.name: fn for fn in program.functions}
+        self._instantiating: set[str] = set()
+        self._instantiated: dict[str, t.TFunction] = {}
+        self.results: list[t.TFunction] = []
+        self._temp_index = 0
+        self._current_output: str | None = None
+
+    # -- function instantiation ----------------------------------------------
+
+    def instantiate(self, name: str, param_specs: list[ParamSpec],
+                    plain_name: bool = False) -> t.TFunction:
+        key = name if plain_name else self._signature(name, param_specs)
+        cached = self._instantiated.get(key)
+        if cached is not None:
+            return cached
+        if name in self._instantiating:
+            raise MatlangTypeError(
+                f"recursive function {name!r} is unsupported")
+        fn = self._functions[name]
+        if len(param_specs) != len(fn.params):
+            raise MatlangTypeError(
+                f"{name} called with {len(param_specs)} argument(s), "
+                f"expects {len(fn.params)}")
+        self._instantiating.add(name)
+        try:
+            typed = self._tame_function(fn, param_specs, key)
+        finally:
+            self._instantiating.discard(name)
+        self._instantiated[key] = typed
+        self.results.append(typed)
+        return typed
+
+    def _signature(self, name: str, param_specs: list[ParamSpec]) -> str:
+        parts = [f"{elem}_{shape}" for elem, shape in param_specs]
+        if not parts:
+            return name
+        return name + "__" + "__".join(parts)
+
+    def _tame_function(self, fn: ast.Function,
+                       param_specs: list[ParamSpec],
+                       typed_name: str) -> t.TFunction:
+        env: dict[str, ParamSpec] = {
+            param: spec for param, spec in zip(fn.params, param_specs)
+        }
+        previous_output = self._current_output
+        self._current_output = fn.output
+        try:
+            body = self._tame_body(fn.body, env)
+        finally:
+            self._current_output = previous_output
+        if fn.output not in env:
+            raise MatlangTypeError(
+                f"{fn.name} never assigns its output {fn.output!r}")
+        body.append(t.TReturn(t.TVar(fn.output)))
+        out_type, out_shape = env[fn.output]
+        params = [(param, spec[0], spec[1])
+                  for param, spec in zip(fn.params, param_specs)]
+        return t.TFunction(typed_name, params, fn.output, body,
+                           out_type, out_shape)
+
+    # -- statements -----------------------------------------------------------
+
+    def _tame_body(self, body: list[ast.Stmt],
+                   env: dict[str, ParamSpec]) -> list:
+        out: list = []
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                atom = self._flatten(stmt.expr, env, out,
+                                     target_hint=stmt.target)
+                self._bind(stmt.target, atom, env, out)
+            elif isinstance(stmt, ast.Return):
+                # Early return: exits with the current output value, which
+                # must already be assigned on this path.
+                output = self._current_output
+                if output not in env:
+                    raise MatlangTypeError(
+                        "return before the output variable "
+                        f"{output!r} is assigned")
+                out.append(t.TReturn(t.TVar(output)))
+            elif isinstance(stmt, ast.If):
+                out.append(self._tame_if(stmt, env))
+            elif isinstance(stmt, ast.While):
+                out.append(self._tame_while(stmt, env))
+            else:
+                raise MatlangTypeError(
+                    f"unknown statement {type(stmt).__name__}")
+        return out
+
+    def _bind(self, target: str, atom: t.TAtom,
+              env: dict[str, ParamSpec], out: list) -> None:
+        if isinstance(atom, t.TConst):
+            spec = (atom.type, "scalar")
+            out.append(t.TStmt(target, "copy", [atom], *spec))
+        else:
+            assert isinstance(atom, t.TVar)
+            spec = self._spec_of(atom, env)
+            if atom.name != target:
+                out.append(t.TStmt(target, "copy", [atom], *spec))
+        env[target] = spec
+
+    def _tame_if(self, stmt: ast.If, env: dict[str, ParamSpec]) -> t.TIf:
+        branches = []
+        branch_envs = []
+        for cond, body in stmt.branches:
+            prelude: list = []
+            cond_atom = self._flatten(cond, env, prelude)
+            cond_var = self._as_var(cond_atom, env, prelude)
+            branch_env = dict(env)
+            branches.append((prelude, cond_var,
+                             self._tame_body(body, branch_env)))
+            branch_envs.append(branch_env)
+        else_env = dict(env)
+        else_body = self._tame_body(stmt.else_body, else_env)
+        branch_envs.append(else_env)
+        self._merge_envs(env, branch_envs)
+        return t.TIf(branches, else_body)
+
+    def _tame_while(self, stmt: ast.While,
+                    env: dict[str, ParamSpec]) -> t.TWhile:
+        # Two rounds so loop-carried variables reach their fixpoint type.
+        for _ in range(2):
+            probe_env = dict(env)
+            prelude: list = []
+            cond_atom = self._flatten(stmt.cond, probe_env, prelude)
+            cond_var = self._as_var(cond_atom, probe_env, prelude)
+            body_env = dict(probe_env)
+            body = self._tame_body(stmt.body, body_env)
+            self._merge_envs(env, [body_env, probe_env])
+        # Final pass with stabilized types produces the emitted IR.
+        prelude = []
+        cond_atom = self._flatten(stmt.cond, env, prelude)
+        cond_var = self._as_var(cond_atom, env, prelude)
+        body_env = dict(env)
+        body = self._tame_body(stmt.body, body_env)
+        for name, spec in body_env.items():
+            env[name] = spec if name not in env \
+                else self._merge_spec(env[name], spec)
+        return t.TWhile(prelude, cond_var, body)
+
+    def _merge_envs(self, env: dict[str, ParamSpec],
+                    branch_envs: list[dict[str, ParamSpec]]) -> None:
+        names: set[str] = set()
+        for branch_env in branch_envs:
+            names |= set(branch_env)
+        for name in names:
+            specs = [be[name] for be in branch_envs if name in be]
+            if name in env:
+                specs.append(env[name])
+            merged = specs[0]
+            for spec in specs[1:]:
+                merged = self._merge_spec(merged, spec)
+            env[name] = merged
+
+    @staticmethod
+    def _merge_spec(a: ParamSpec, b: ParamSpec) -> ParamSpec:
+        return (t.unify_types(a[0], b[0]), t.unify_shapes(a[1], b[1]))
+
+    # -- expressions ------------------------------------------------------------
+
+    def _temp(self, hint: str = "tmp") -> str:
+        self._temp_index += 1
+        return f"{hint}_{self._temp_index}"
+
+    def _spec_of(self, atom: t.TAtom, env: dict[str, ParamSpec]) -> ParamSpec:
+        if isinstance(atom, t.TConst):
+            return (atom.type, "scalar")
+        spec = env.get(atom.name)
+        if spec is None:
+            raise MatlangTypeError(f"undefined variable {atom.name!r}")
+        return spec
+
+    def _as_var(self, atom: t.TAtom, env: dict[str, ParamSpec],
+                out: list) -> t.TVar:
+        if isinstance(atom, t.TVar):
+            return atom
+        name = self._temp("cond")
+        spec = (atom.type, "scalar")
+        out.append(t.TStmt(name, "copy", [atom], *spec))
+        env[name] = spec
+        return t.TVar(name)
+
+    def _emit(self, op: str, args: list[t.TAtom], type_: str, shape: str,
+              env: dict[str, ParamSpec], out: list,
+              hint: str = "tmp") -> t.TVar:
+        name = self._temp(hint)
+        out.append(t.TStmt(name, op, args, type_, shape))
+        env[name] = (type_, shape)
+        return t.TVar(name)
+
+    _BINOP_NAMES = {
+        "+": "add", "-": "sub", ".*": "mul", "*": "mul",
+        "./": "div", "/": "div", ".^": "power", "^": "power",
+        "==": "eq", "~=": "neq", "<": "lt", "<=": "leq",
+        ">": "gt", ">=": "geq", "&": "and", "|": "or",
+    }
+    _COMPARISONS = ("eq", "neq", "lt", "leq", "gt", "geq")
+    _LOGICAL = ("and", "or")
+
+    def _flatten(self, expr: ast.Expr, env: dict[str, ParamSpec],
+                 out: list, target_hint: str = "tmp",
+                 end_var: t.TVar | None = None) -> t.TAtom:
+        if isinstance(expr, ast.Num):
+            if expr.is_integer:
+                return t.TConst(int(expr.value), "i64")
+            return t.TConst(expr.value, "f64")
+        if isinstance(expr, ast.Str):
+            return t.TConst(expr.value, "str")
+        if isinstance(expr, ast.Bool):
+            return t.TConst(expr.value, "bool")
+        if isinstance(expr, ast.VarRef):
+            if expr.name not in env:
+                raise MatlangTypeError(
+                    f"undefined variable {expr.name!r}")
+            return t.TVar(expr.name)
+        if isinstance(expr, ast.EndRef):
+            if end_var is None:
+                raise MatlangTypeError("'end' outside of indexing")
+            return end_var
+        if isinstance(expr, ast.UnOp):
+            operand = self._flatten(expr.operand, env, out, end_var=end_var)
+            spec = self._spec_of(operand, env)
+            if expr.op == "-":
+                return self._emit("neg", [operand], spec[0], spec[1],
+                                  env, out)
+            return self._emit("not", [operand], "bool", spec[1], env, out)
+        if isinstance(expr, ast.BinOp):
+            return self._flatten_binop(expr, env, out, end_var)
+        if isinstance(expr, ast.Range):
+            return self._flatten_range(expr, env, out, end_var)
+        if isinstance(expr, ast.ArrayLit):
+            atoms = [self._flatten(item, env, out, end_var=end_var)
+                     for item in expr.items]
+            if not atoms:
+                raise MatlangTypeError("empty array literals unsupported")
+            elem = self._spec_of(atoms[0], env)[0]
+            for atom in atoms[1:]:
+                elem = t.unify_types(elem, self._spec_of(atom, env)[0])
+            return self._emit("concat", atoms, elem, "vector", env, out)
+        if isinstance(expr, ast.Call):
+            return self._flatten_call(expr, env, out, target_hint)
+        raise MatlangTypeError(
+            f"unknown expression {type(expr).__name__}")
+
+    def _flatten_binop(self, expr: ast.BinOp, env: dict[str, ParamSpec],
+                       out: list, end_var: t.TVar | None) -> t.TAtom:
+        op = self._BINOP_NAMES.get(expr.op)
+        if op is None:
+            raise MatlangTypeError(f"unsupported operator {expr.op!r}")
+        left = self._flatten(expr.left, env, out, end_var=end_var)
+        right = self._flatten(expr.right, env, out, end_var=end_var)
+        left_spec = self._spec_of(left, env)
+        right_spec = self._spec_of(right, env)
+        shape = t.unify_shapes(left_spec[1], right_spec[1])
+        if expr.op in ("*", "/") and left_spec[1] == "vector" \
+                and right_spec[1] == "vector":
+            raise MatlangTypeError(
+                f"vector {expr.op} vector is matrix algebra; "
+                f"use .{expr.op} for elementwise operations")
+        if op in self._COMPARISONS or op in self._LOGICAL:
+            type_ = "bool"
+            if op in ("lt", "leq", "gt", "geq") \
+                    and "str" in (left_spec[0], right_spec[0]):
+                raise MatlangTypeError(
+                    "strings have no ordering in the subset; "
+                    "use strcmp for equality tests")
+            if op in self._COMPARISONS:
+                # Validate comparability.
+                t.unify_types(*self._comparable(left_spec[0],
+                                                right_spec[0]))
+        elif op == "div":
+            type_ = "f64"
+            t.unify_types(left_spec[0], right_spec[0])
+        elif op == "power":
+            type_ = "f64"
+            t.unify_types(left_spec[0], right_spec[0])
+        else:
+            type_ = t.unify_types(left_spec[0], right_spec[0])
+        return self._emit(op, [left, right], type_, shape, env, out)
+
+    @staticmethod
+    def _comparable(a: str, b: str) -> tuple[str, str]:
+        if "str" in (a, b) and a != b:
+            raise MatlangTypeError(
+                f"cannot compare {a} with {b}; use strcmp for strings")
+        if a == "str":
+            return ("i64", "i64")  # strings compare with eq/neq only
+        return (a, b)
+
+    def _flatten_range(self, expr: ast.Range, env: dict[str, ParamSpec],
+                       out: list, end_var: t.TVar | None) -> t.TAtom:
+        start = self._flatten(expr.start, env, out, end_var=end_var)
+        stop = self._flatten(expr.stop, env, out, end_var=end_var)
+        if expr.step is not None:
+            step = self._flatten(expr.step, env, out, end_var=end_var)
+        else:
+            step = t.TConst(1, "i64")
+        specs = [self._spec_of(a, env) for a in (start, stop, step)]
+        for spec in specs:
+            if spec[1] != "scalar":
+                raise MatlangTypeError("range bounds must be scalars")
+        elem = "i64"
+        for spec in specs:
+            elem = t.unify_types(elem, spec[0])
+        return self._emit("range", [start, stop, step], elem, "vector",
+                          env, out)
+
+    def _flatten_call(self, expr: ast.Call, env: dict[str, ParamSpec],
+                      out: list, target_hint: str) -> t.TAtom:
+        if expr.name in env:
+            return self._flatten_index(expr, env, out)
+        if expr.name in self._functions:
+            atoms = [self._flatten(a, env, out) for a in expr.args]
+            specs = [self._spec_of(a, env) for a in atoms]
+            callee = self.instantiate(expr.name, specs)
+            return self._emit(f"ucall:{callee.name}", atoms,
+                              callee.ret_type, callee.ret_shape, env, out,
+                              hint=target_hint)
+        builtin = MATLAB_BUILTINS.get(expr.name)
+        if builtin is not None:
+            if not (builtin.min_args <= len(expr.args)
+                    <= builtin.max_args):
+                raise MatlangTypeError(
+                    f"{expr.name} expects {builtin.min_args}.."
+                    f"{builtin.max_args} argument(s), "
+                    f"got {len(expr.args)}")
+            atoms = [self._flatten(a, env, out) for a in expr.args]
+            specs = [self._spec_of(a, env) for a in atoms]
+            type_ = infer_result_type(builtin, [s[0] for s in specs])
+            shape = self._builtin_shape(builtin, specs)
+            if builtin.lower == "#length":
+                type_ = "i64"
+            return self._emit(f"call:{expr.name}", atoms, type_, shape,
+                              env, out)
+        raise MatlangTypeError(
+            f"{expr.name!r} is neither a variable nor a known function")
+
+    @staticmethod
+    def _builtin_shape(builtin, specs: list[ParamSpec]) -> str:
+        rule = builtin.result_shape
+        if rule == "same":
+            return specs[0][1] if specs else "vector"
+        if rule in ("#minmax", "#broadcast"):
+            if len(specs) == 1 and rule == "#minmax":
+                return "scalar"
+            shape = "scalar"
+            for spec in specs:
+                shape = t.unify_shapes(shape, spec[1])
+            return shape
+        return rule
+
+    def _flatten_index(self, expr: ast.Call, env: dict[str, ParamSpec],
+                       out: list) -> t.TAtom:
+        if len(expr.args) != 1:
+            raise MatlangTypeError(
+                "only one-dimensional indexing A(I) is supported")
+        base = t.TVar(expr.name)
+        base_spec = self._spec_of(base, env)
+        end_var = self._emit("call:length", [base], "i64", "scalar",
+                             env, out)
+        index = self._flatten(expr.args[0], env, out, end_var=end_var)
+        index_spec = self._spec_of(index, env)
+        if index_spec[0] == "bool":
+            return self._emit("index_logical", [base, index],
+                              base_spec[0], "vector", env, out)
+        return self._emit("index", [base, index], base_spec[0],
+                          index_spec[1], env, out)

@@ -1,0 +1,356 @@
+"""TameIR → HorseIR generator (the translator HorsePower adds to McLab).
+
+Every TameIR statement lowers to one or a few flat HorseIR statements:
+
+* logical indexing ``A(I)`` becomes ``@compress`` (as the paper notes);
+* integer indexing becomes ``@index`` after the 1-based → 0-based shift;
+* MATLAB's inclusive ranges expand to ``@range`` arithmetic;
+* builtin calls map through the lowering spec in
+  :mod:`repro.matlang.builtins`;
+* user-function calls become HorseIR method calls (inlined later by the
+  optimizer).
+"""
+
+from __future__ import annotations
+
+from repro.core import ir
+from repro.core import types as ht
+from repro.errors import MatlangTypeError
+from repro.matlang import tameir as t
+from repro.matlang.builtins import MATLAB_BUILTINS
+
+__all__ = ["tameir_to_module"]
+
+_TYPE_MAP = {
+    "cols": ht.list_of(ht.WILDCARD),
+    "bool": ht.BOOL,
+    "i64": ht.I64,
+    "f64": ht.F64,
+    "str": ht.STR,
+    "date": ht.DATE,
+}
+
+_DIRECT_OPS = {
+    "add": "add", "sub": "sub", "mul": "mul", "div": "div",
+    "power": "power", "neg": "neg", "not": "not",
+    "eq": "eq", "neq": "neq", "lt": "lt", "leq": "leq",
+    "gt": "gt", "geq": "geq", "and": "and", "or": "or",
+}
+
+#: Epsilon used when computing inclusive range lengths, mirroring the
+#: interpreter (floating ranges like 0:0.1:1 must include the endpoint).
+_RANGE_EPS = 1e-10
+
+
+def tameir_to_module(program: t.TProgram,
+                     module_name: str = "MatlabModule") -> ir.Module:
+    """Translate a typed TameIR program into a HorseIR module."""
+    module = ir.Module(module_name)
+    for function in program.functions:
+        module.add(_translate_function(function))
+    return module
+
+
+def _horse_type(elem: str) -> ht.HorseType:
+    try:
+        return _TYPE_MAP[elem]
+    except KeyError:
+        raise MatlangTypeError(f"no HorseIR type for {elem!r}") from None
+
+
+class _FunctionTranslator:
+    def __init__(self, function: t.TFunction):
+        self.function = function
+        self._temp_index = 0
+
+    def _temp(self, hint: str) -> str:
+        self._temp_index += 1
+        return f"_{hint}{self._temp_index}"
+
+    def translate(self) -> ir.Method:
+        params = [ir.Param(name, _horse_type(elem))
+                  for name, elem, _shape in self.function.params]
+        body = self._translate_body(self.function.body)
+        if not body or not isinstance(body[-1], ir.Return):
+            body.append(ir.Return(ir.Var(self.function.output)))
+        return ir.Method(self.function.name, params,
+                         _horse_type(self.function.ret_type), body)
+
+    def _translate_body(self, body: list) -> list[ir.Stmt]:
+        out: list[ir.Stmt] = []
+        # Producers of unit-step ranges in this straight-line region, so
+        # `A(a:b)` folds to a zero-copy @subseq instead of a gather.
+        unit_ranges: dict[str, tuple[t.TAtom, t.TAtom]] = {}
+        for item in body:
+            if isinstance(item, t.TStmt):
+                if item.op == "range" and self._is_unit_step(item):
+                    unit_ranges[item.target] = (item.args[0],
+                                                item.args[1])
+                out.extend(self._translate_stmt(item, unit_ranges))
+            elif isinstance(item, t.TReturn):
+                out.append(ir.Return(ir.Var(item.var.name)))
+            elif isinstance(item, t.TIf):
+                out.extend(self._translate_if(item))
+            elif isinstance(item, t.TWhile):
+                out.extend(self._translate_while(item))
+            else:
+                raise MatlangTypeError(
+                    f"unknown TameIR item {type(item).__name__}")
+        return out
+
+    def _translate_if(self, item: t.TIf) -> list[ir.Stmt]:
+        def build(index: int) -> list[ir.Stmt]:
+            if index == len(item.branches):
+                return self._translate_body(item.else_body)
+            prelude, cond, branch_body = item.branches[index]
+            stmts = self._translate_body(prelude)
+            stmts.append(ir.If(ir.Var(cond.name),
+                               self._translate_body(branch_body),
+                               build(index + 1)))
+            return stmts
+        return build(0)
+
+    def _translate_while(self, item: t.TWhile) -> list[ir.Stmt]:
+        prelude = self._translate_body(item.cond_prelude)
+        loop_body = self._translate_body(item.body)
+        loop_body.extend(self._translate_body(item.cond_prelude))
+        stmts = list(prelude)
+        stmts.append(ir.While(ir.Var(item.cond.name), loop_body))
+        return stmts
+
+    # -- statements -----------------------------------------------------------
+
+    @staticmethod
+    def _is_unit_step(stmt: t.TStmt) -> bool:
+        step = stmt.args[2]
+        return isinstance(step, t.TConst) and float(step.value) == 1.0
+
+    def _translate_stmt(self, stmt: t.TStmt,
+                        unit_ranges: dict | None = None) -> list[ir.Stmt]:
+        out_type = _horse_type(stmt.type)
+        target = stmt.target
+        op = stmt.op
+
+        if op == "copy":
+            return [ir.Assign(target, out_type, self._atom(stmt.args[0]))]
+        if op in _DIRECT_OPS:
+            args = [self._atom(a) for a in stmt.args]
+            return [ir.Assign(target, out_type,
+                              ir.BuiltinCall(_DIRECT_OPS[op], args))]
+        if op == "index_logical":
+            base, mask = stmt.args
+            return [ir.Assign(target, out_type,
+                              ir.BuiltinCall("compress",
+                                             [self._atom(mask),
+                                              self._atom(base)]))]
+        if op == "index":
+            index_atom = stmt.args[1]
+            if unit_ranges and isinstance(index_atom, t.TVar) \
+                    and index_atom.name in unit_ranges:
+                start, stop = unit_ranges[index_atom.name]
+                return [ir.Assign(
+                    target, out_type,
+                    ir.BuiltinCall("subseq",
+                                   [self._atom(stmt.args[0]),
+                                    self._atom(start),
+                                    self._atom(stop)]))]
+            return self._translate_index(stmt, out_type)
+        if op == "range":
+            return self._translate_range(stmt, out_type)
+        if op == "concat":
+            args = [self._atom(a) for a in stmt.args]
+            return [ir.Assign(target, out_type,
+                              ir.BuiltinCall("concat", args))]
+        if op.startswith("ucall:"):
+            name = op[len("ucall:"):]
+            args = [self._atom(a) for a in stmt.args]
+            return [ir.Assign(target, out_type, ir.MethodCall(name, args))]
+        if op.startswith("call:"):
+            return self._translate_builtin(stmt, out_type)
+        raise MatlangTypeError(f"unknown TameIR op {op!r}")
+
+    def _translate_index(self, stmt: t.TStmt,
+                         out_type: ht.HorseType) -> list[ir.Stmt]:
+        base, index = stmt.args
+        shifted = self._temp("pos")
+        cast = self._temp("idx")
+        return [
+            ir.Assign(shifted, ht.WILDCARD,
+                      ir.BuiltinCall("sub", [self._atom(index),
+                                             ir.Literal(1, ht.I64)])),
+            ir.Assign(cast, ht.I64,
+                      ir.Cast(ir.Var(shifted), ht.I64)),
+            ir.Assign(stmt.target, out_type,
+                      ir.BuiltinCall("index", [self._atom(base),
+                                               ir.Var(cast)])),
+        ]
+
+    def _translate_range(self, stmt: t.TStmt,
+                         out_type: ht.HorseType) -> list[ir.Stmt]:
+        start, stop, step = (self._atom(a) for a in stmt.args)
+        span = self._temp("span")
+        ratio = self._temp("ratio")
+        eps = self._temp("eps")
+        fl = self._temp("fl")
+        count_f = self._temp("cntf")
+        count = self._temp("cnt")
+        raw = self._temp("iota")
+        scaled = self._temp("scaled")
+        return [
+            ir.Assign(span, ht.WILDCARD,
+                      ir.BuiltinCall("sub", [stop, start])),
+            ir.Assign(ratio, ht.F64,
+                      ir.BuiltinCall("div", [ir.Var(span), step])),
+            ir.Assign(eps, ht.F64,
+                      ir.BuiltinCall("add",
+                                     [ir.Var(ratio),
+                                      ir.Literal(_RANGE_EPS, ht.F64)])),
+            ir.Assign(fl, ht.F64, ir.BuiltinCall("floor", [ir.Var(eps)])),
+            ir.Assign(count_f, ht.F64,
+                      ir.BuiltinCall("add", [ir.Var(fl),
+                                             ir.Literal(1.0, ht.F64)])),
+            ir.Assign(count, ht.I64, ir.Cast(ir.Var(count_f), ht.I64)),
+            ir.Assign(raw, ht.I64, ir.BuiltinCall("range",
+                                                  [ir.Var(count)])),
+            ir.Assign(scaled, ht.WILDCARD,
+                      ir.BuiltinCall("mul", [ir.Var(raw), step])),
+            ir.Assign(stmt.target, out_type,
+                      ir.BuiltinCall("add", [ir.Var(scaled), start])),
+        ]
+
+    def _translate_builtin(self, stmt: t.TStmt,
+                           out_type: ht.HorseType) -> list[ir.Stmt]:
+        name = stmt.op[len("call:"):]
+        builtin = MATLAB_BUILTINS[name]
+        args = [self._atom(a) for a in stmt.args]
+        lower = builtin.lower
+
+        if lower == "#length":
+            return [ir.Assign(stmt.target, ht.I64,
+                              ir.BuiltinCall("len", args))]
+        if lower in ("#zeros", "#ones"):
+            size = args[-1]
+            value = 0.0 if lower == "#zeros" else 1.0
+            cast = self._temp("n")
+            return [
+                ir.Assign(cast, ht.I64, ir.Cast(size, ht.I64)),
+                ir.Assign(stmt.target, ht.F64,
+                          ir.BuiltinCall("fill",
+                                         [ir.Var(cast),
+                                          ir.Literal(value, ht.F64)])),
+            ]
+        if lower in ("#min", "#max"):
+            base = lower[1:]
+            if len(args) == 1:
+                return [ir.Assign(stmt.target, out_type,
+                                  ir.BuiltinCall(base, args))]
+            return [ir.Assign(stmt.target, out_type,
+                              ir.BuiltinCall(f"{base}2", args))]
+        if lower == "#sort":
+            order = self._temp("ord")
+            asc = self._temp("asc")
+            return [
+                ir.Assign(asc, ht.BOOL,
+                          ir.BuiltinCall("concat",
+                                         [ir.Literal(True, ht.BOOL)])),
+                ir.Assign(order, ht.I64,
+                          ir.BuiltinCall("order", [args[0],
+                                                   ir.Var(asc)])),
+                ir.Assign(stmt.target, out_type,
+                          ir.BuiltinCall("index", [args[0],
+                                                   ir.Var(order)])),
+            ]
+        if lower == "#find":
+            # MATLAB's find() treats any nonzero value as true.
+            mask = self._temp("mask")
+            zeros = self._temp("pos")
+            return [
+                ir.Assign(mask, ht.BOOL,
+                          ir.BuiltinCall("neq",
+                                         [args[0],
+                                          ir.Literal(0, ht.I64)])),
+                ir.Assign(zeros, ht.I64,
+                          ir.BuiltinCall("where", [ir.Var(mask)])),
+                ir.Assign(stmt.target, out_type,
+                          ir.BuiltinCall("add",
+                                         [ir.Var(zeros),
+                                          ir.Literal(1, ht.I64)])),
+            ]
+        if lower in ("#var", "#std"):
+            mean = self._temp("mu")
+            dev = self._temp("dev")
+            sq = self._temp("sq")
+            total = self._temp("ss")
+            count = self._temp("n")
+            dof = self._temp("dof")
+            out: list[ir.Stmt] = [
+                ir.Assign(mean, ht.F64, ir.BuiltinCall("avg", [args[0]])),
+                ir.Assign(dev, ht.F64,
+                          ir.BuiltinCall("sub", [args[0],
+                                                 ir.Var(mean)])),
+                ir.Assign(sq, ht.F64,
+                          ir.BuiltinCall("mul", [ir.Var(dev),
+                                                 ir.Var(dev)])),
+                ir.Assign(total, ht.F64,
+                          ir.BuiltinCall("sum", [ir.Var(sq)])),
+                ir.Assign(count, ht.I64,
+                          ir.BuiltinCall("len", [args[0]])),
+                ir.Assign(dof, ht.I64,
+                          ir.BuiltinCall("sub", [ir.Var(count),
+                                                 ir.Literal(1, ht.I64)])),
+            ]
+            if lower == "#var":
+                out.append(ir.Assign(stmt.target, out_type,
+                                     ir.BuiltinCall("div",
+                                                    [ir.Var(total),
+                                                     ir.Var(dof)])))
+            else:
+                ratio = self._temp("ratio")
+                out.append(ir.Assign(ratio, ht.F64,
+                                     ir.BuiltinCall("div",
+                                                    [ir.Var(total),
+                                                     ir.Var(dof)])))
+                out.append(ir.Assign(stmt.target, out_type,
+                                     ir.BuiltinCall("sqrt",
+                                                    [ir.Var(ratio)])))
+            return out
+        if lower == "#dot":
+            product = self._temp("prodv")
+            return [
+                ir.Assign(product, ht.F64,
+                          ir.BuiltinCall("mul", [args[0], args[1]])),
+                ir.Assign(stmt.target, out_type,
+                          ir.BuiltinCall("sum", [ir.Var(product)])),
+            ]
+        if lower == "#isempty":
+            length = self._temp("len")
+            return [
+                ir.Assign(length, ht.I64,
+                          ir.BuiltinCall("len", [args[0]])),
+                ir.Assign(stmt.target, ht.BOOL,
+                          ir.BuiltinCall("eq", [ir.Var(length),
+                                                ir.Literal(0, ht.I64)])),
+            ]
+        if lower == "#table":
+            return [ir.Assign(stmt.target, ht.list_of(ht.WILDCARD),
+                              ir.BuiltinCall("list", args))]
+        if lower == "#strcmp":
+            return [ir.Assign(stmt.target, ht.BOOL,
+                              ir.BuiltinCall("eq", args))]
+        if lower.startswith("#"):
+            raise MatlangTypeError(
+                f"builtin {name} has no HorseIR lowering")
+        return [ir.Assign(stmt.target, out_type,
+                          ir.BuiltinCall(lower, args))]
+
+    @staticmethod
+    def _atom(atom: t.TAtom) -> ir.Expr:
+        if isinstance(atom, t.TVar):
+            return ir.Var(atom.name)
+        assert isinstance(atom, t.TConst)
+        type_ = _horse_type(atom.type)
+        return ir.Literal(atom.value, type_)
+
+
+def _translate_function(function: t.TFunction) -> ir.Method:
+    return _FunctionTranslator(function).translate()

@@ -1,0 +1,12 @@
+"""SQL frontend: parser, logical planner, and the plan→HorseIR translator.
+
+The reproduction of the paper's Section 3.1 pipeline: SQL text parses to an
+AST, the planner produces an optimized logical plan (the MonetDB stand-in's
+execution plan), the plan serializes to JSON (as HorsePower converts
+MonetDB's plan trees), and :mod:`repro.sql.plan_to_ir` translates the JSON
+into a HorseIR ``main`` method with placeholder method calls for UDFs.
+"""
+
+from repro.sql.catalog import Catalog, TableSchema  # noqa: F401
+from repro.sql.parser import parse_sql  # noqa: F401
+from repro.sql.planner import plan_query  # noqa: F401

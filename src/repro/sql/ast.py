@@ -1,0 +1,207 @@
+"""AST for the SQL subset.
+
+Covers what the TPC-H-derived benchmarks need: SELECT lists with arithmetic
+and aggregates, FROM with multiple tables and table-UDF calls, WHERE with
+AND/OR/NOT, comparisons, BETWEEN, IN, LIKE, CASE expressions, scalar UDF
+calls anywhere an expression is legal, GROUP BY, ORDER BY and LIMIT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Expr", "Col", "Star", "IntLit", "FloatLit", "StrLit", "DateLit",
+    "IntervalLit", "BinOp", "UnOp", "FuncCall", "CaseWhen", "InList",
+    "Between", "SelectItem", "TableRef", "SubqueryRef", "TableUDFRef",
+    "Select",
+    "AGGREGATE_NAMES",
+]
+
+AGGREGATE_NAMES = ("sum", "avg", "min", "max", "count")
+
+
+class Expr:
+    """Base class for SQL expressions."""
+
+
+@dataclass
+class Col(Expr):
+    name: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        if self.table:
+            return f"{self.table}.{self.name}"
+        return self.name
+
+
+@dataclass
+class Star(Expr):
+    """``*`` — only valid inside COUNT(*) and SELECT lists."""
+
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass
+class StrLit(Expr):
+    value: str
+
+    def __str__(self) -> str:
+        return f"'{self.value}'"
+
+
+@dataclass
+class DateLit(Expr):
+    value: str  # ISO yyyy-mm-dd
+
+    def __str__(self) -> str:
+        return f"DATE '{self.value}'"
+
+
+@dataclass
+class IntervalLit(Expr):
+    amount: int
+    unit: str  # "day", "month", "year"
+
+    def __str__(self) -> str:
+        return f"INTERVAL '{self.amount}' {self.unit.upper()}"
+
+
+@dataclass
+class BinOp(Expr):
+    """Arithmetic/comparison/logical operator in SQL spelling
+    (``=``, ``<>``, ``AND``...)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass
+class UnOp(Expr):
+    op: str  # "-" or "NOT"
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass
+class FuncCall(Expr):
+    """Aggregate, builtin scalar function, or scalar UDF call."""
+
+    name: str  # case preserved; compare with .lower() for aggregates
+    args: list[Expr]
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({args})"
+
+
+@dataclass
+class CaseWhen(Expr):
+    whens: list[tuple[Expr, Expr]]
+    else_expr: Expr | None = None
+
+    def __str__(self) -> str:
+        parts = ["CASE"]
+        for cond, value in self.whens:
+            parts.append(f"WHEN {cond} THEN {value}")
+        if self.else_expr is not None:
+            parts.append(f"ELSE {self.else_expr}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass
+class InList(Expr):
+    expr: Expr
+    items: list[Expr]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        op = "NOT IN" if self.negated else "IN"
+        items = ", ".join(str(i) for i in self.items)
+        return f"({self.expr} {op} ({items}))"
+
+
+@dataclass
+class Between(Expr):
+    expr: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def __str__(self) -> str:
+        op = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"({self.expr} {op} {self.low} AND {self.high})"
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+    def __str__(self) -> str:
+        if self.alias:
+            return f"{self.expr} AS {self.alias}"
+        return str(self.expr)
+
+
+@dataclass
+class TableRef:
+    """A base table in FROM, with optional alias."""
+
+    name: str
+    alias: str | None = None
+
+
+@dataclass
+class SubqueryRef:
+    """``FROM (SELECT ...) AS alias`` — a derived table."""
+
+    subquery: "Select"
+    alias: str | None = None
+
+
+@dataclass
+class TableUDFRef:
+    """``FROM udf((SELECT ...))`` — a table UDF over a subquery."""
+
+    name: str
+    subquery: "Select"
+    alias: str | None = None
+
+
+@dataclass
+class Select:
+    items: list[SelectItem]
+    from_items: list = field(default_factory=list)
+    where: Expr | None = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Expr | None = None
+    order_by: list[tuple[Expr, bool]] = field(default_factory=list)
+    limit: int | None = None
+    distinct: bool = False

@@ -1,0 +1,71 @@
+"""Schema catalog: table and column metadata.
+
+Column names are required to be globally unique across the catalog (true
+for TPC-H, whose columns carry table prefixes like ``l_`` and ``o_``);
+this keeps name resolution simple and matches how the paper's generated
+HorseIR refers to columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import types as ht
+from repro.errors import CatalogError
+
+__all__ = ["TableSchema", "Catalog"]
+
+
+@dataclass
+class TableSchema:
+    name: str
+    #: ordered (column name, HorseIR type) pairs.
+    columns: list[tuple[str, ht.HorseType]]
+
+    def column_names(self) -> list[str]:
+        return [name for name, _ in self.columns]
+
+    def column_type(self, name: str) -> ht.HorseType:
+        for column, type_ in self.columns:
+            if column == name:
+                return type_
+        raise CatalogError(
+            f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(column == name for column, _ in self.columns)
+
+
+@dataclass
+class Catalog:
+    tables: dict[str, TableSchema] = field(default_factory=dict)
+
+    def add(self, schema: TableSchema) -> None:
+        if schema.name in self.tables:
+            raise CatalogError(f"duplicate table {schema.name!r}")
+        for column in schema.column_names():
+            owner = self.owner_of(column)
+            if owner is not None:
+                raise CatalogError(
+                    f"column {column!r} already exists in table "
+                    f"{owner!r}; column names must be globally unique")
+        self.tables[schema.name] = schema
+
+    def table(self, name: str) -> TableSchema:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def owner_of(self, column: str) -> str | None:
+        """The table owning ``column``, or None."""
+        for schema in self.tables.values():
+            if schema.has_column(column):
+                return schema.name
+        return None
+
+    def column_type(self, column: str) -> ht.HorseType:
+        owner = self.owner_of(column)
+        if owner is None:
+            raise CatalogError(f"unknown column {column!r}")
+        return self.tables[owner].column_type(column)

@@ -1,0 +1,67 @@
+"""SQL lexer.  Case-insensitive keywords, ``--`` comments, standard
+operators."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "order", "limit", "as",
+    "and", "or", "not", "in", "between", "like", "case", "when", "then",
+    "else", "end", "asc", "desc", "date", "interval", "inner", "join",
+    "on", "distinct", "having",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>--[^\n]*)
+  | (?P<NUMBER>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<STRING>'(?:[^']|'')*')
+  | (?P<ID>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<OP><>|<=|>=|!=|\|\||[-+*/%<>=(),.;])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise SQLSyntaxError(f"unexpected character {source[pos]!r}",
+                                 line, pos - line_start + 1)
+        kind = match.lastgroup
+        text = match.group()
+        column = match.start() - line_start + 1
+        if kind == "ID" and text.lower() in KEYWORDS:
+            tokens.append(Token(text.lower().upper(), text, line, column))
+        elif kind not in ("WS", "COMMENT"):
+            tokens.append(Token(kind, text, line, column))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = match.start() + text.rfind("\n") + 1
+        pos = match.end()
+    tokens.append(Token("EOF", "", line, pos - line_start + 1))
+    return tokens

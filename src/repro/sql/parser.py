@@ -1,0 +1,318 @@
+"""Recursive-descent SQL parser for the supported subset."""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import Token, tokenize
+
+__all__ = ["parse_sql"]
+
+
+def parse_sql(source: str) -> ast.Select:
+    """Parse one SELECT statement (trailing ``;`` optional)."""
+    parser = _Parser(source)
+    select = parser.parse_select()
+    parser.finish()
+    return select
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+        self._pos = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        token = self._current
+        return token.kind == kind and (
+            text is None or token.text.lower() == text.lower())
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._current
+        if not self._check(kind, text):
+            wanted = text if text is not None else kind
+            raise SQLSyntaxError(
+                f"expected {wanted!r}, found {token.text!r}",
+                token.line, token.column)
+        return self._advance()
+
+    def finish(self) -> None:
+        self._accept("OP", ";")
+        token = self._current
+        if token.kind != "EOF":
+            raise SQLSyntaxError(
+                f"unexpected trailing input {token.text!r}",
+                token.line, token.column)
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def parse_select(self) -> ast.Select:
+        self._expect("SELECT")
+        distinct = bool(self._accept("DISTINCT"))
+        items = [self._parse_select_item()]
+        while self._accept("OP", ","):
+            items.append(self._parse_select_item())
+
+        from_items: list = []
+        if self._accept("FROM"):
+            from_items.append(self._parse_from_item())
+            while True:
+                if self._accept("OP", ","):
+                    from_items.append(self._parse_from_item())
+                    continue
+                if self._check("INNER") or self._check("JOIN"):
+                    self._accept("INNER")
+                    self._expect("JOIN")
+                    right = self._parse_from_item()
+                    self._expect("ON")
+                    condition = self._parse_expr()
+                    from_items.append(("join", right, condition))
+                    continue
+                break
+
+        where = None
+        if self._accept("WHERE"):
+            where = self._parse_expr()
+
+        group_by: list[ast.Expr] = []
+        if self._accept("GROUP"):
+            self._expect("BY")
+            group_by.append(self._parse_expr())
+            while self._accept("OP", ","):
+                group_by.append(self._parse_expr())
+
+        having = None
+        if self._accept("HAVING"):
+            having = self._parse_expr()
+
+        order_by: list[tuple[ast.Expr, bool]] = []
+        if self._accept("ORDER"):
+            self._expect("BY")
+            order_by.append(self._parse_order_item())
+            while self._accept("OP", ","):
+                order_by.append(self._parse_order_item())
+
+        limit = None
+        if self._accept("LIMIT"):
+            token = self._expect("NUMBER")
+            limit = int(token.text)
+
+        return ast.Select(items, from_items, where, group_by, having,
+                          order_by, limit, distinct)
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        if self._check("OP", "*"):
+            self._advance()
+            return ast.SelectItem(ast.Star())
+        expr = self._parse_expr()
+        alias = None
+        if self._accept("AS"):
+            alias = self._expect("ID").text
+        elif self._check("ID"):
+            alias = self._advance().text
+        return ast.SelectItem(expr, alias)
+
+    def _parse_order_item(self) -> tuple[ast.Expr, bool]:
+        expr = self._parse_expr()
+        ascending = True
+        if self._accept("DESC"):
+            ascending = False
+        else:
+            self._accept("ASC")
+        return (expr, ascending)
+
+    def _parse_from_item(self):
+        if self._check("OP", "("):
+            # Derived table: (SELECT ...) [AS] alias
+            self._advance()
+            subquery = self.parse_select()
+            self._expect("OP", ")")
+            alias = self._parse_optional_alias()
+            return ast.SubqueryRef(subquery, alias)
+        name = self._expect("ID").text
+        if self._check("OP", "("):
+            # Table UDF: udf((SELECT ...)) — double parens per the paper.
+            self._advance()
+            self._expect("OP", "(")
+            subquery = self.parse_select()
+            self._expect("OP", ")")
+            self._expect("OP", ")")
+            alias = self._parse_optional_alias()
+            return ast.TableUDFRef(name, subquery, alias)
+        alias = self._parse_optional_alias()
+        return ast.TableRef(name, alias)
+
+    def _parse_optional_alias(self) -> str | None:
+        if self._accept("AS"):
+            return self._expect("ID").text
+        if self._check("ID"):
+            return self._advance().text
+        return None
+
+    # -- expressions ------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._accept("OR"):
+            left = ast.BinOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._accept("AND"):
+            left = ast.BinOp("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._accept("NOT"):
+            return ast.UnOp("not", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expr:
+        left = self._parse_additive()
+        negated = bool(self._accept("NOT"))
+        if self._accept("BETWEEN"):
+            low = self._parse_additive()
+            self._expect("AND")
+            high = self._parse_additive()
+            return ast.Between(left, low, high, negated)
+        if self._accept("IN"):
+            self._expect("OP", "(")
+            items = [self._parse_additive()]
+            while self._accept("OP", ","):
+                items.append(self._parse_additive())
+            self._expect("OP", ")")
+            return ast.InList(left, items, negated)
+        if self._accept("LIKE"):
+            pattern = self._parse_additive()
+            like = ast.BinOp("like", left, pattern)
+            return ast.UnOp("not", like) if negated else like
+        if negated:
+            token = self._current
+            raise SQLSyntaxError(
+                "expected BETWEEN, IN or LIKE after NOT",
+                token.line, token.column)
+        for op in ("=", "<>", "!=", "<=", ">=", "<", ">"):
+            if self._check("OP", op):
+                self._advance()
+                right = self._parse_additive()
+                return ast.BinOp("<>" if op == "!=" else op, left, right)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._current.kind == "OP" and self._current.text in ("+",
+                                                                    "-"):
+            op = self._advance().text
+            left = ast.BinOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._current.kind == "OP" and self._current.text in ("*",
+                                                                    "/"):
+            op = self._advance().text
+            left = ast.BinOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._check("OP", "-"):
+            self._advance()
+            return ast.UnOp("-", self._parse_unary())
+        if self._check("OP", "+"):
+            self._advance()
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._current
+        if token.kind == "NUMBER":
+            self._advance()
+            if "." in token.text or "e" in token.text.lower():
+                return ast.FloatLit(float(token.text))
+            return ast.IntLit(int(token.text))
+        if token.kind == "STRING":
+            self._advance()
+            return ast.StrLit(token.text[1:-1].replace("''", "'"))
+        if token.kind == "DATE":
+            self._advance()
+            value = self._expect("STRING").text[1:-1]
+            return ast.DateLit(value)
+        if token.kind == "INTERVAL":
+            self._advance()
+            amount_text = self._expect("STRING").text[1:-1]
+            unit = self._expect("ID").text.lower().rstrip("s")
+            if unit not in ("day", "month", "year"):
+                raise SQLSyntaxError(f"unsupported interval unit {unit!r}",
+                                     token.line, token.column)
+            return ast.IntervalLit(int(amount_text), unit)
+        if token.kind == "CASE":
+            return self._parse_case()
+        if self._accept("OP", "("):
+            expr = self._parse_expr()
+            self._expect("OP", ")")
+            return expr
+        if token.kind == "ID":
+            self._advance()
+            name = token.text
+            if self._check("OP", "("):
+                return self._parse_call(name)
+            if self._accept("OP", "."):
+                column = self._expect("ID").text
+                return ast.Col(column, table=name)
+            return ast.Col(name)
+        raise SQLSyntaxError(f"unexpected token {token.text!r}",
+                             token.line, token.column)
+
+    def _parse_case(self) -> ast.Expr:
+        self._expect("CASE")
+        whens: list[tuple[ast.Expr, ast.Expr]] = []
+        while self._accept("WHEN"):
+            cond = self._parse_expr()
+            self._expect("THEN")
+            whens.append((cond, self._parse_expr()))
+        else_expr = None
+        if self._accept("ELSE"):
+            else_expr = self._parse_expr()
+        self._expect("END")
+        if not whens:
+            token = self._current
+            raise SQLSyntaxError("CASE requires at least one WHEN",
+                                 token.line, token.column)
+        return ast.CaseWhen(whens, else_expr)
+
+    def _parse_call(self, name: str) -> ast.Expr:
+        self._expect("OP", "(")
+        distinct = bool(self._accept("DISTINCT"))
+        args: list[ast.Expr] = []
+        if self._check("OP", "*"):
+            self._advance()
+            args.append(ast.Star())
+        elif not self._check("OP", ")"):
+            args.append(self._parse_expr())
+            while self._accept("OP", ","):
+                args.append(self._parse_expr())
+        self._expect("OP", ")")
+        # Case preserved: UDF names are case-sensitive; aggregate checks
+        # lowercase explicitly.
+        return ast.FuncCall(name, args, distinct)

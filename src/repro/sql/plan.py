@@ -1,0 +1,241 @@
+"""Logical plan nodes and their JSON serialization.
+
+The plan is the interface between the two systems in the evaluation:
+
+* the baseline engine (:mod:`repro.engine.executor`) interprets plan trees
+  directly, the way MonetDB executes MAL;
+* HorsePower serializes the tree to JSON — as the paper converts MonetDB's
+  tree-shaped plans — and :mod:`repro.sql.plan_to_ir` translates the JSON
+  into HorseIR.
+
+Expressions inside nodes are SQL AST expressions (already resolved and
+constant-folded by the planner); they serialize via ``str(expr)`` plus a
+structured form for the translator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import types as ht
+from repro.sql import ast
+
+__all__ = ["PlanNode", "Scan", "Filter", "Project", "Join",
+           "GroupAggregate", "Sort", "Limit", "TableUDF", "plan_to_json"]
+
+
+@dataclass
+class PlanNode:
+    """Base class; ``output`` is the ordered (name, type) schema."""
+
+    output: list[tuple[str, ht.HorseType]] = field(default_factory=list,
+                                                   kw_only=True)
+
+    def children(self) -> list["PlanNode"]:
+        return []
+
+    def output_names(self) -> list[str]:
+        return [name for name, _ in self.output]
+
+    def output_type(self, name: str) -> ht.HorseType:
+        for column, type_ in self.output:
+            if column == name:
+                return type_
+        raise KeyError(name)
+
+
+@dataclass
+class Scan(PlanNode):
+    table: str
+    columns: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return f"scan {self.table}[{', '.join(self.columns)}]"
+
+
+@dataclass
+class Filter(PlanNode):
+    child: PlanNode = None
+    predicate: ast.Expr = None
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"filter {self.predicate}"
+
+
+@dataclass
+class Project(PlanNode):
+    """Computes ``items`` = (name, expression) pairs; replaces the schema."""
+
+    child: PlanNode = None
+    items: list[tuple[str, ast.Expr]] = field(default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        cols = ", ".join(f"{expr} AS {name}" for name, expr in self.items)
+        return f"project {cols}"
+
+
+@dataclass
+class Join(PlanNode):
+    left: PlanNode = None
+    right: PlanNode = None
+    left_keys: list[str] = field(default_factory=list)
+    right_keys: list[str] = field(default_factory=list)
+    kind: str = "inner"
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+    def describe(self) -> str:
+        keys = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys,
+                                                    self.right_keys))
+        return f"{self.kind} join on {keys}"
+
+
+@dataclass
+class GroupAggregate(PlanNode):
+    """``keys`` are plain column names of the child; ``aggregates`` are
+    (output name, function, input column or None for count(*))."""
+
+    child: PlanNode = None
+    keys: list[str] = field(default_factory=list)
+    aggregates: list[tuple[str, str, str | None]] = field(
+        default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        aggs = ", ".join(f"{fn}({col or '*'}) AS {name}"
+                         for name, fn, col in self.aggregates)
+        return f"group by [{', '.join(self.keys)}] agg {aggs}"
+
+
+@dataclass
+class Sort(PlanNode):
+    child: PlanNode = None
+    keys: list[tuple[str, bool]] = field(default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        keys = ", ".join(f"{name} {'asc' if asc else 'desc'}"
+                         for name, asc in self.keys)
+        return f"sort {keys}"
+
+
+@dataclass
+class Limit(PlanNode):
+    child: PlanNode = None
+    count: int = 0
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"limit {self.count}"
+
+
+@dataclass
+class TableUDF(PlanNode):
+    """Black-box table UDF call: all child columns go in, the declared
+    output columns come out.  Neither predicates nor pruning may cross
+    this node (that is the point of the bs2 experiment)."""
+
+    child: PlanNode = None
+    udf_name: str = ""
+    input_columns: list[str] = field(default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"table_udf {self.udf_name}({', '.join(self.input_columns)})"
+
+
+def plan_to_json(node: PlanNode) -> dict:
+    """Serialize a plan tree to JSON (the MonetDB-plan-tree → JSON step)."""
+    base = {
+        "output": [[name, str(type_)] for name, type_ in node.output],
+    }
+    if isinstance(node, Scan):
+        base.update(op="scan", table=node.table, columns=list(node.columns))
+    elif isinstance(node, Filter):
+        base.update(op="filter", predicate=_expr_to_json(node.predicate),
+                    child=plan_to_json(node.child))
+    elif isinstance(node, Project):
+        base.update(op="project",
+                    items=[[name, _expr_to_json(expr)]
+                           for name, expr in node.items],
+                    child=plan_to_json(node.child))
+    elif isinstance(node, Join):
+        base.update(op="join", kind=node.kind,
+                    left_keys=list(node.left_keys),
+                    right_keys=list(node.right_keys),
+                    left=plan_to_json(node.left),
+                    right=plan_to_json(node.right))
+    elif isinstance(node, GroupAggregate):
+        base.update(op="group",
+                    keys=list(node.keys),
+                    aggregates=[[name, fn, col]
+                                for name, fn, col in node.aggregates],
+                    child=plan_to_json(node.child))
+    elif isinstance(node, Sort):
+        base.update(op="sort", keys=[[name, asc] for name, asc in node.keys],
+                    child=plan_to_json(node.child))
+    elif isinstance(node, Limit):
+        base.update(op="limit", count=node.count,
+                    child=plan_to_json(node.child))
+    elif isinstance(node, TableUDF):
+        base.update(op="table_udf", udf=node.udf_name,
+                    inputs=list(node.input_columns),
+                    child=plan_to_json(node.child))
+    else:
+        raise TypeError(f"unknown plan node {type(node).__name__}")
+    return base
+
+
+def _expr_to_json(expr: ast.Expr) -> dict:
+    """Structured expression serialization for the IR translator."""
+    if isinstance(expr, ast.Col):
+        return {"kind": "col", "name": expr.name}
+    if isinstance(expr, ast.IntLit):
+        return {"kind": "int", "value": expr.value}
+    if isinstance(expr, ast.FloatLit):
+        return {"kind": "float", "value": expr.value}
+    if isinstance(expr, ast.StrLit):
+        return {"kind": "str", "value": expr.value}
+    if isinstance(expr, ast.DateLit):
+        return {"kind": "date", "value": expr.value}
+    if isinstance(expr, ast.BinOp):
+        return {"kind": "binop", "op": expr.op,
+                "left": _expr_to_json(expr.left),
+                "right": _expr_to_json(expr.right)}
+    if isinstance(expr, ast.UnOp):
+        return {"kind": "unop", "op": expr.op,
+                "operand": _expr_to_json(expr.operand)}
+    if isinstance(expr, ast.FuncCall):
+        return {"kind": "call", "name": expr.name,
+                "args": [_expr_to_json(a) for a in expr.args]}
+    if isinstance(expr, ast.CaseWhen):
+        return {"kind": "case",
+                "whens": [[_expr_to_json(c), _expr_to_json(v)]
+                          for c, v in expr.whens],
+                "else": _expr_to_json(expr.else_expr)
+                if expr.else_expr is not None else None}
+    if isinstance(expr, ast.InList):
+        return {"kind": "in", "expr": _expr_to_json(expr.expr),
+                "items": [_expr_to_json(i) for i in expr.items],
+                "negated": expr.negated}
+    if isinstance(expr, ast.Between):
+        return {"kind": "between", "expr": _expr_to_json(expr.expr),
+                "low": _expr_to_json(expr.low),
+                "high": _expr_to_json(expr.high),
+                "negated": expr.negated}
+    raise TypeError(f"cannot serialize expression {type(expr).__name__}")

@@ -1,0 +1,749 @@
+"""Logical planner: SQL AST → optimized plan tree.
+
+Planning pipeline (the MonetDB stand-in's optimizer):
+
+1. constant folding (``DATE '1998-12-01' - INTERVAL '90' DAY`` → a date);
+2. FROM resolution: scans, derived tables, table-UDF calls, join clauses;
+3. WHERE decomposition into conjuncts; equi-join conditions between two
+   tables become hash-join keys, single-source conjuncts are **pushed
+   down** below joins and through projections (predicate pushdown);
+4. aggregation planning: aggregate arguments become computed columns in a
+   pre-projection, then one GroupAggregate node;
+5. **column pruning**: every node's column set shrinks to what its parent
+   needs — except across TableUDF nodes, which are black boxes (the bs2
+   experiment relies on exactly this asymmetry).
+
+The planner treats scalar UDF calls as ordinary expressions (so they ride
+inside Project/Filter nodes), mirroring how MonetDB plans UDF hooks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import types as ht
+from repro.errors import PlanError
+from repro.sql import ast
+from repro.sql import plan as p
+from repro.sql.catalog import Catalog
+from repro.sql.udf import UDFRegistry
+
+__all__ = ["plan_query"]
+
+
+def plan_query(select: ast.Select, catalog: Catalog,
+               udfs: UDFRegistry | None = None) -> p.PlanNode:
+    """Plan a SELECT statement against ``catalog`` (+ registered UDFs)."""
+    planner = _Planner(catalog, udfs or UDFRegistry())
+    node = planner.plan_select(select)
+    node = _prune_columns(node, set(node.output_names()))
+    return node
+
+
+# ---------------------------------------------------------------------------
+# expression utilities
+# ---------------------------------------------------------------------------
+
+def _fold_constants(expr: ast.Expr) -> ast.Expr:
+    """Fold date ± interval and numeric literal arithmetic."""
+    if isinstance(expr, ast.BinOp):
+        left = _fold_constants(expr.left)
+        right = _fold_constants(expr.right)
+        if isinstance(left, ast.DateLit) and isinstance(right,
+                                                        ast.IntervalLit) \
+                and expr.op in ("+", "-"):
+            return _shift_date(left, right, expr.op)
+        if isinstance(left, (ast.IntLit, ast.FloatLit)) \
+                and isinstance(right, (ast.IntLit, ast.FloatLit)) \
+                and expr.op in ("+", "-", "*", "/"):
+            return _fold_numeric(left, right, expr.op)
+        return ast.BinOp(expr.op, left, right)
+    if isinstance(expr, ast.UnOp):
+        operand = _fold_constants(expr.operand)
+        if expr.op == "-" and isinstance(operand, ast.IntLit):
+            return ast.IntLit(-operand.value)
+        if expr.op == "-" and isinstance(operand, ast.FloatLit):
+            return ast.FloatLit(-operand.value)
+        return ast.UnOp(expr.op, operand)
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(expr.name,
+                            [_fold_constants(a) for a in expr.args],
+                            expr.distinct)
+    if isinstance(expr, ast.CaseWhen):
+        whens = [(_fold_constants(c), _fold_constants(v))
+                 for c, v in expr.whens]
+        else_expr = (_fold_constants(expr.else_expr)
+                     if expr.else_expr is not None else None)
+        return ast.CaseWhen(whens, else_expr)
+    if isinstance(expr, ast.InList):
+        return ast.InList(_fold_constants(expr.expr),
+                          [_fold_constants(i) for i in expr.items],
+                          expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(_fold_constants(expr.expr),
+                           _fold_constants(expr.low),
+                           _fold_constants(expr.high), expr.negated)
+    return expr
+
+
+def _shift_date(date: ast.DateLit, interval: ast.IntervalLit,
+                op: str) -> ast.DateLit:
+    amount = interval.amount if op == "+" else -interval.amount
+    value = np.datetime64(date.value, "D")
+    if interval.unit == "day":
+        value = value + np.timedelta64(amount, "D")
+    elif interval.unit == "month":
+        months = value.astype("datetime64[M]") + np.timedelta64(amount, "M")
+        day = (value - value.astype("datetime64[M]").astype(
+            "datetime64[D]")).astype(int)
+        value = months.astype("datetime64[D]") + np.timedelta64(
+            int(day), "D")
+    else:  # year
+        months = value.astype("datetime64[M]") + np.timedelta64(
+            12 * amount, "M")
+        day = (value - value.astype("datetime64[M]").astype(
+            "datetime64[D]")).astype(int)
+        value = months.astype("datetime64[D]") + np.timedelta64(
+            int(day), "D")
+    return ast.DateLit(str(value))
+
+
+def _fold_numeric(left, right, op: str):
+    a, b = left.value, right.value
+    result = {"+": a + b, "-": a - b, "*": a * b,
+              "/": a / b if b != 0 else float("nan")}[op]
+    if isinstance(left, ast.IntLit) and isinstance(right, ast.IntLit) \
+            and op != "/":
+        return ast.IntLit(int(result))
+    return ast.FloatLit(float(result))
+
+
+def _expr_columns(expr: ast.Expr) -> set[str]:
+    cols: set[str] = set()
+    _collect_columns(expr, cols)
+    return cols
+
+
+def _collect_columns(expr: ast.Expr, out: set[str]) -> None:
+    if isinstance(expr, ast.Col):
+        out.add(expr.name)
+    elif isinstance(expr, ast.BinOp):
+        _collect_columns(expr.left, out)
+        _collect_columns(expr.right, out)
+    elif isinstance(expr, ast.UnOp):
+        _collect_columns(expr.operand, out)
+    elif isinstance(expr, ast.FuncCall):
+        for arg in expr.args:
+            _collect_columns(arg, out)
+    elif isinstance(expr, ast.CaseWhen):
+        for cond, value in expr.whens:
+            _collect_columns(cond, out)
+            _collect_columns(value, out)
+        if expr.else_expr is not None:
+            _collect_columns(expr.else_expr, out)
+    elif isinstance(expr, ast.InList):
+        _collect_columns(expr.expr, out)
+        for item in expr.items:
+            _collect_columns(item, out)
+    elif isinstance(expr, ast.Between):
+        _collect_columns(expr.expr, out)
+        _collect_columns(expr.low, out)
+        _collect_columns(expr.high, out)
+
+
+def _split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinOp) and expr.op == "and":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _and_all(conjuncts: list[ast.Expr]) -> ast.Expr:
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = ast.BinOp("and", result, conjunct)
+    return result
+
+
+def _contains_aggregate(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.FuncCall):
+        if expr.name.lower() in ast.AGGREGATE_NAMES:
+            return True
+        return any(_contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, ast.BinOp):
+        return _contains_aggregate(expr.left) \
+            or _contains_aggregate(expr.right)
+    if isinstance(expr, ast.UnOp):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.CaseWhen):
+        for cond, value in expr.whens:
+            if _contains_aggregate(cond) or _contains_aggregate(value):
+                return True
+        return expr.else_expr is not None \
+            and _contains_aggregate(expr.else_expr)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# the planner
+# ---------------------------------------------------------------------------
+
+class _Planner:
+    def __init__(self, catalog: Catalog, udfs: UDFRegistry):
+        self.catalog = catalog
+        self.udfs = udfs
+        self._derived_count = 0
+
+    # -- type inference over a node's schema -----------------------------------
+
+    def infer_type(self, expr: ast.Expr,
+                   node: p.PlanNode) -> ht.HorseType:
+        if isinstance(expr, ast.Col):
+            try:
+                return node.output_type(expr.name)
+            except KeyError:
+                raise PlanError(f"unknown column {expr.name!r}; "
+                                f"available: {node.output_names()}") \
+                    from None
+        if isinstance(expr, ast.IntLit):
+            return ht.I64
+        if isinstance(expr, ast.FloatLit):
+            return ht.F64
+        if isinstance(expr, ast.StrLit):
+            return ht.STR
+        if isinstance(expr, ast.DateLit):
+            return ht.DATE
+        if isinstance(expr, ast.UnOp):
+            if expr.op == "not":
+                return ht.BOOL
+            return self.infer_type(expr.operand, node)
+        if isinstance(expr, ast.BinOp):
+            if expr.op in ("and", "or", "=", "<>", "<", "<=", ">", ">=",
+                           "like"):
+                return ht.BOOL
+            if expr.op == "/":
+                return ht.F64
+            left = self.infer_type(expr.left, node)
+            right = self.infer_type(expr.right, node)
+            return ht.promote(left, right)
+        if isinstance(expr, (ast.InList, ast.Between)):
+            return ht.BOOL
+        if isinstance(expr, ast.CaseWhen):
+            result = self.infer_type(expr.whens[0][1], node)
+            for _, value in expr.whens[1:]:
+                result = ht.promote(result,
+                                    self.infer_type(value, node))
+            if expr.else_expr is not None:
+                result = ht.promote(result, self.infer_type(
+                    expr.else_expr, node))
+            return result
+        if isinstance(expr, ast.FuncCall):
+            name = expr.name.lower()
+            if name in ("sum", "avg"):
+                return ht.F64
+            if name == "count":
+                return ht.I64
+            if name in ("min", "max"):
+                return self.infer_type(expr.args[0], node)
+            if self.udfs.is_scalar(expr.name):
+                return self.udfs.get(expr.name).ret_type
+            raise PlanError(f"unknown function {expr.name!r}")
+        raise PlanError(
+            f"cannot type expression {type(expr).__name__}")
+
+    # -- FROM ---------------------------------------------------------------
+
+    def plan_select(self, select: ast.Select) -> p.PlanNode:
+        node = self._plan_from(select)
+        conjuncts = [_fold_constants(c)
+                     for c in _split_conjuncts(select.where)]
+        node = self._apply_filters(node, conjuncts)
+        node = self._plan_projection(select, node)
+        node = self._plan_order_limit(select, node)
+        return node
+
+    def _plan_from(self, select: ast.Select) -> p.PlanNode:
+        if not select.from_items:
+            raise PlanError("queries without FROM are unsupported")
+        nodes: list[p.PlanNode] = []
+        join_clauses: list[tuple[p.PlanNode, ast.Expr]] = []
+        for item in select.from_items:
+            if isinstance(item, tuple) and item[0] == "join":
+                _, right_ref, condition = item
+                join_clauses.append((self._plan_from_item(right_ref),
+                                     _fold_constants(condition)))
+            else:
+                nodes.append(self._plan_from_item(item))
+        node = nodes[0]
+        for other in nodes[1:]:
+            # Comma join: keys are recovered from WHERE conjuncts later by
+            # _apply_filters via _try_join_condition; start with a cross
+            # join marker (rejected unless keys are found).
+            node = _PendingCross(node, other)
+        for right, condition in join_clauses:
+            node = self._make_join(node, right, condition)
+        return node
+
+    def _plan_from_item(self, item) -> p.PlanNode:
+        if isinstance(item, ast.TableRef):
+            schema = self.catalog.table(item.name)
+            return p.Scan(item.name, schema.column_names(),
+                          output=list(schema.columns))
+        if isinstance(item, ast.SubqueryRef):
+            return self.plan_select(item.subquery)
+        if isinstance(item, ast.TableUDFRef):
+            child = self.plan_select(item.subquery)
+            udf = self.udfs.get(item.name)
+            if udf.kind != "table":
+                raise PlanError(
+                    f"{item.name!r} is a scalar UDF used in FROM")
+            return p.TableUDF(child, udf.name,
+                              list(child.output_names()),
+                              output=list(udf.output_columns))
+        raise PlanError(f"unsupported FROM item {type(item).__name__}")
+
+    def _make_join(self, left: p.PlanNode, right: p.PlanNode,
+                   condition: ast.Expr) -> p.Join:
+        keys = self._join_keys(left, right, condition)
+        if keys is None:
+            raise PlanError(
+                f"unsupported join condition {condition}; only "
+                f"conjunctions of column equalities are supported")
+        left_keys, right_keys = keys
+        return p.Join(left, right, left_keys, right_keys, "inner",
+                      output=list(left.output) + list(right.output))
+
+    def _join_keys(self, left: p.PlanNode, right: p.PlanNode,
+                   condition: ast.Expr):
+        left_cols = set(left.output_names())
+        right_cols = set(right.output_names())
+        left_keys: list[str] = []
+        right_keys: list[str] = []
+        for conjunct in _split_conjuncts(condition):
+            if not (isinstance(conjunct, ast.BinOp)
+                    and conjunct.op == "="
+                    and isinstance(conjunct.left, ast.Col)
+                    and isinstance(conjunct.right, ast.Col)):
+                return None
+            a, b = conjunct.left.name, conjunct.right.name
+            if a in left_cols and b in right_cols:
+                left_keys.append(a)
+                right_keys.append(b)
+            elif b in left_cols and a in right_cols:
+                left_keys.append(b)
+                right_keys.append(a)
+            else:
+                return None
+        return (left_keys, right_keys)
+
+    # -- WHERE / pushdown ------------------------------------------------------
+
+    def _apply_filters(self, node: p.PlanNode,
+                       conjuncts: list[ast.Expr]) -> p.PlanNode:
+        node, leftovers = self._push_filters(node, conjuncts)
+        if leftovers:
+            node = p.Filter(node, _and_all(leftovers),
+                            output=list(node.output))
+        return node
+
+    def _push_filters(self, node: p.PlanNode,
+                      conjuncts: list[ast.Expr]):
+        """Push each conjunct as deep as it can go; returns (node,
+        not-pushed)."""
+        if isinstance(node, _PendingCross):
+            return self._resolve_cross(node, conjuncts)
+        if isinstance(node, p.Join):
+            remaining: list[ast.Expr] = []
+            left_push: list[ast.Expr] = []
+            right_push: list[ast.Expr] = []
+            left_cols = set(node.left.output_names())
+            right_cols = set(node.right.output_names())
+            for conjunct in conjuncts:
+                used = _expr_columns(conjunct)
+                if self._references_udf(conjunct):
+                    remaining.append(conjunct)
+                elif used <= left_cols:
+                    left_push.append(conjunct)
+                elif used <= right_cols:
+                    right_push.append(conjunct)
+                else:
+                    remaining.append(conjunct)
+            left = self._apply_filters(node.left, left_push)
+            right = self._apply_filters(node.right, right_push)
+            new_join = p.Join(left, right, node.left_keys,
+                              node.right_keys, node.kind,
+                              output=list(node.output))
+            return new_join, remaining
+        if isinstance(node, p.Project) and conjuncts:
+            # Push through when the conjunct only references columns the
+            # projection passes through unchanged.
+            passthrough = {name: expr.name for name, expr in node.items
+                           if isinstance(expr, ast.Col)}
+            pushed: list[ast.Expr] = []
+            remaining = []
+            for conjunct in conjuncts:
+                used = _expr_columns(conjunct)
+                if used <= set(passthrough) \
+                        and not self._references_udf(conjunct):
+                    pushed.append(_rename_columns(conjunct, passthrough))
+                else:
+                    remaining.append(conjunct)
+            if pushed:
+                child = self._apply_filters(node.child, pushed)
+                node = p.Project(child, list(node.items),
+                                 output=list(node.output))
+            return node, remaining
+        return node, list(conjuncts)
+
+    def _resolve_cross(self, cross: "_PendingCross",
+                       conjuncts: list[ast.Expr]):
+        """Turn a comma join into a hash join using WHERE equalities."""
+        left = cross.left
+        right = cross.right
+        if isinstance(left, _PendingCross):
+            left, conjuncts = self._resolve_cross(left, conjuncts)
+        if isinstance(right, _PendingCross):
+            right, conjuncts = self._resolve_cross(right, conjuncts)
+        left_cols = set(left.output_names())
+        right_cols = set(right.output_names())
+        key_conjuncts: list[ast.Expr] = []
+        others: list[ast.Expr] = []
+        for conjunct in conjuncts:
+            if isinstance(conjunct, ast.BinOp) and conjunct.op == "=" \
+                    and isinstance(conjunct.left, ast.Col) \
+                    and isinstance(conjunct.right, ast.Col):
+                a, b = conjunct.left.name, conjunct.right.name
+                if (a in left_cols and b in right_cols) \
+                        or (b in left_cols and a in right_cols):
+                    key_conjuncts.append(conjunct)
+                    continue
+            others.append(conjunct)
+        if not key_conjuncts:
+            raise PlanError(
+                "cross join without an equi-join condition in WHERE "
+                "is unsupported")
+        join = self._make_join(left, right, _and_all(key_conjuncts))
+        return self._push_filters(join, others)
+
+    def _references_udf(self, expr: ast.Expr) -> bool:
+        if isinstance(expr, ast.FuncCall):
+            if self.udfs.is_udf(expr.name):
+                return True
+            return any(self._references_udf(a) for a in expr.args)
+        if isinstance(expr, ast.BinOp):
+            return self._references_udf(expr.left) \
+                or self._references_udf(expr.right)
+        if isinstance(expr, ast.UnOp):
+            return self._references_udf(expr.operand)
+        if isinstance(expr, ast.CaseWhen):
+            for cond, value in expr.whens:
+                if self._references_udf(cond) \
+                        or self._references_udf(value):
+                    return True
+            return expr.else_expr is not None \
+                and self._references_udf(expr.else_expr)
+        if isinstance(expr, ast.InList):
+            return self._references_udf(expr.expr)
+        if isinstance(expr, ast.Between):
+            return self._references_udf(expr.expr)
+        return False
+
+    # -- SELECT list / aggregation ----------------------------------------------
+
+    def _plan_projection(self, select: ast.Select,
+                         node: p.PlanNode) -> p.PlanNode:
+        items = self._expand_stars(select.items, node)
+        has_aggregates = any(_contains_aggregate(item.expr)
+                             for item in items)
+        if select.having is not None \
+                and not (has_aggregates or select.group_by):
+            raise PlanError("HAVING requires GROUP BY or aggregates")
+        if not has_aggregates and not select.group_by:
+            plan_items = []
+            output = []
+            for item in items:
+                name = self._item_name(item)
+                expr = _fold_constants(item.expr)
+                plan_items.append((name, expr))
+                output.append((name, self.infer_type(expr, node)))
+            if not self._is_identity_projection(plan_items, node):
+                node = p.Project(node, plan_items, output=output)
+            if select.distinct:
+                node = self._plan_distinct(node)
+            return node
+        return self._plan_aggregation(select, items, node)
+
+    @staticmethod
+    def _plan_distinct(node: p.PlanNode) -> p.PlanNode:
+        """SELECT DISTINCT: group on every output column, no aggregates."""
+        return p.GroupAggregate(node, node.output_names(), [],
+                                output=list(node.output))
+
+    def _expand_stars(self, items: list[ast.SelectItem],
+                      node: p.PlanNode) -> list[ast.SelectItem]:
+        expanded: list[ast.SelectItem] = []
+        for item in items:
+            if isinstance(item.expr, ast.Star):
+                for name in node.output_names():
+                    expanded.append(ast.SelectItem(ast.Col(name), None))
+            else:
+                expanded.append(item)
+        return expanded
+
+    @staticmethod
+    def _is_identity_projection(plan_items, node: p.PlanNode) -> bool:
+        names = node.output_names()
+        return (len(plan_items) == len(names)
+                and all(isinstance(expr, ast.Col) and expr.name == name
+                        and name == names[i]
+                        for i, (name, expr) in enumerate(plan_items)))
+
+    def _item_name(self, item: ast.SelectItem) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expr, ast.Col):
+            return item.expr.name
+        self._derived_count += 1
+        return f"col{self._derived_count}"
+
+    def _plan_aggregation(self, select: ast.Select,
+                          items: list[ast.SelectItem],
+                          node: p.PlanNode) -> p.PlanNode:
+        group_keys: list[str] = []
+        for expr in select.group_by:
+            folded = _fold_constants(expr)
+            if not isinstance(folded, ast.Col):
+                raise PlanError(
+                    "GROUP BY supports plain columns only")
+            group_keys.append(folded.name)
+
+        # Stage 1: a pre-projection computing every aggregate argument and
+        # passing group keys through.
+        pre_items: list[tuple[str, ast.Expr]] = []
+        pre_output: list[tuple[str, ht.HorseType]] = []
+        for key in group_keys:
+            pre_items.append((key, ast.Col(key)))
+            pre_output.append((key, node.output_type(key)))
+
+        aggregates: list[tuple[str, str, str | None]] = []
+        post_exprs: list[tuple[str, ast.Expr, ht.HorseType]] = []
+
+        def plan_agg_expr(expr: ast.Expr) -> ast.Expr:
+            """Replace aggregate calls with references to agg outputs."""
+            if isinstance(expr, ast.FuncCall) \
+                    and expr.name.lower() in ast.AGGREGATE_NAMES:
+                fn = expr.name.lower()
+                if fn == "count" and (not expr.args or isinstance(
+                        expr.args[0], ast.Star)):
+                    agg_name = f"agg{len(aggregates)}"
+                    aggregates.append((agg_name, "count", None))
+                    return ast.Col(agg_name)
+                arg = _fold_constants(expr.args[0])
+                arg_name = f"aggin{len(pre_items)}"
+                pre_items.append((arg_name, arg))
+                pre_output.append((arg_name,
+                                   self.infer_type(arg, node)))
+                agg_name = f"agg{len(aggregates)}"
+                aggregates.append((agg_name, fn, arg_name))
+                return ast.Col(agg_name)
+            if isinstance(expr, ast.BinOp):
+                return ast.BinOp(expr.op, plan_agg_expr(expr.left),
+                                 plan_agg_expr(expr.right))
+            if isinstance(expr, ast.UnOp):
+                return ast.UnOp(expr.op, plan_agg_expr(expr.operand))
+            if isinstance(expr, ast.Col):
+                if expr.name not in group_keys:
+                    raise PlanError(
+                        f"column {expr.name!r} must appear in GROUP BY "
+                        f"or inside an aggregate")
+                return expr
+            if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.StrLit,
+                                 ast.DateLit)):
+                return expr
+            raise PlanError(
+                f"unsupported expression over aggregates: {expr}")
+
+        final_items: list[tuple[str, ast.Expr]] = []
+        for item in items:
+            name = self._item_name(item)
+            final_items.append((name,
+                                plan_agg_expr(_fold_constants(item.expr))))
+
+        # HAVING may introduce aggregates of its own; rewrite it before the
+        # pre-projection and group schemas are frozen.
+        having_expr = None
+        if select.having is not None:
+            having_expr = plan_agg_expr(_fold_constants(select.having))
+
+        if not pre_items:
+            # count(*) with no keys and no aggregate arguments: carry one
+            # child column so row counts stay observable downstream.
+            first, first_type = node.output[0]
+            pre_items.append((first, ast.Col(first)))
+            pre_output.append((first, first_type))
+        pre = p.Project(node, pre_items, output=pre_output)
+        agg_output: list[tuple[str, ht.HorseType]] = []
+        for key in group_keys:
+            agg_output.append((key, pre.output_type(key)))
+        for agg_name, fn, col in aggregates:
+            if fn == "count":
+                agg_output.append((agg_name, ht.I64))
+            elif fn in ("sum", "avg"):
+                agg_output.append((agg_name, ht.F64))
+            else:
+                agg_output.append((agg_name, pre.output_type(col)))
+        group: p.PlanNode = p.GroupAggregate(pre, group_keys, aggregates,
+                                             output=agg_output)
+
+        if having_expr is not None:
+            group = p.Filter(group, having_expr,
+                             output=list(group.output))
+
+        final_output = []
+        for name, expr in final_items:
+            final_output.append((name, self.infer_type(expr, group)))
+        if self._is_identity_projection(final_items, group):
+            return group
+        return p.Project(group, final_items, output=final_output)
+
+    # -- ORDER BY / LIMIT ----------------------------------------------------------
+
+    def _plan_order_limit(self, select: ast.Select,
+                          node: p.PlanNode) -> p.PlanNode:
+        if select.order_by:
+            keys: list[tuple[str, bool]] = []
+            for expr, ascending in select.order_by:
+                if not isinstance(expr, ast.Col):
+                    raise PlanError(
+                        "ORDER BY supports output columns only")
+                if expr.name not in node.output_names():
+                    raise PlanError(
+                        f"ORDER BY column {expr.name!r} is not in the "
+                        f"output")
+                keys.append((expr.name, ascending))
+            node = p.Sort(node, keys, output=list(node.output))
+        if select.limit is not None:
+            node = p.Limit(node, select.limit, output=list(node.output))
+        return node
+
+
+class _PendingCross(p.PlanNode):
+    """Marker node for comma joins awaiting their WHERE equi-join keys."""
+
+    def __init__(self, left: p.PlanNode, right: p.PlanNode):
+        super().__init__(output=list(left.output) + list(right.output))
+        self.left = left
+        self.right = right
+
+    def children(self) -> list[p.PlanNode]:
+        return [self.left, self.right]
+
+
+def _rename_columns(expr: ast.Expr, mapping: dict[str, str]) -> ast.Expr:
+    if isinstance(expr, ast.Col):
+        return ast.Col(mapping.get(expr.name, expr.name))
+    if isinstance(expr, ast.BinOp):
+        return ast.BinOp(expr.op, _rename_columns(expr.left, mapping),
+                         _rename_columns(expr.right, mapping))
+    if isinstance(expr, ast.UnOp):
+        return ast.UnOp(expr.op, _rename_columns(expr.operand, mapping))
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(expr.name,
+                            [_rename_columns(a, mapping)
+                             for a in expr.args], expr.distinct)
+    if isinstance(expr, ast.CaseWhen):
+        whens = [(_rename_columns(c, mapping), _rename_columns(v, mapping))
+                 for c, v in expr.whens]
+        else_expr = (_rename_columns(expr.else_expr, mapping)
+                     if expr.else_expr is not None else None)
+        return ast.CaseWhen(whens, else_expr)
+    if isinstance(expr, ast.InList):
+        return ast.InList(_rename_columns(expr.expr, mapping),
+                          list(expr.items), expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(_rename_columns(expr.expr, mapping),
+                           expr.low, expr.high, expr.negated)
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# column pruning
+# ---------------------------------------------------------------------------
+
+def _prune_columns(node: p.PlanNode, needed: set[str]) -> p.PlanNode:
+    """Shrink every node's outputs to ``needed`` (never crossing
+    TableUDF)."""
+    if isinstance(node, p.Scan):
+        keep = [c for c in node.columns if c in needed]
+        if not keep and node.columns:
+            keep = [node.columns[0]]  # keep row counts observable
+            needed = needed | {keep[0]}
+        return p.Scan(node.table, keep,
+                      output=[(n, t) for n, t in node.output
+                              if n in needed])
+    if isinstance(node, p.Filter):
+        child_needed = needed | _expr_columns(node.predicate)
+        child = _prune_columns(node.child, child_needed)
+        return p.Filter(child, node.predicate,
+                        output=[(n, t) for n, t in node.output
+                                if n in needed])
+    if isinstance(node, p.Project):
+        keep_items = [(name, expr) for name, expr in node.items
+                      if name in needed]
+        if not keep_items and node.items:
+            keep_items = [node.items[0]]  # keep row counts observable
+            needed = needed | {keep_items[0][0]}
+        child_needed: set[str] = set()
+        for _, expr in keep_items:
+            child_needed |= _expr_columns(expr)
+        child = _prune_columns(node.child, child_needed)
+        return p.Project(child, keep_items,
+                         output=[(n, t) for n, t in node.output
+                                 if n in needed])
+    if isinstance(node, p.Join):
+        left_names = set(node.left.output_names())
+        right_names = set(node.right.output_names())
+        left_needed = (needed & left_names) | set(node.left_keys)
+        right_needed = (needed & right_names) | set(node.right_keys)
+        left = _prune_columns(node.left, left_needed)
+        right = _prune_columns(node.right, right_needed)
+        return p.Join(left, right, node.left_keys, node.right_keys,
+                      node.kind,
+                      output=[(n, t) for n, t in node.output
+                              if n in needed])
+    if isinstance(node, p.GroupAggregate):
+        child_needed = set(node.keys)
+        keep_aggs = []
+        for name, fn, col in node.aggregates:
+            if name in needed:
+                keep_aggs.append((name, fn, col))
+                if col is not None:
+                    child_needed.add(col)
+        if not keep_aggs and node.aggregates:
+            # Keep one aggregate so group cardinality is observable.
+            name, fn, col = node.aggregates[0]
+            keep_aggs.append((name, fn, col))
+            if col is not None:
+                child_needed.add(col)
+        child = _prune_columns(node.child, child_needed)
+        return p.GroupAggregate(child, node.keys, keep_aggs,
+                                output=[(n, t) for n, t in node.output
+                                        if n in needed
+                                        or n in node.keys])
+    if isinstance(node, p.Sort):
+        child_needed = needed | {name for name, _ in node.keys}
+        child = _prune_columns(node.child, child_needed)
+        return p.Sort(child, node.keys,
+                      output=[(n, t) for n, t in node.output
+                              if n in child_needed or n in needed])
+    if isinstance(node, p.Limit):
+        child = _prune_columns(node.child, needed)
+        return p.Limit(child, node.count, output=list(child.output))
+    if isinstance(node, p.TableUDF):
+        # Black box: every declared input column must be produced and
+        # every declared output is computed, regardless of `needed`.
+        child = _prune_columns(node.child, set(node.input_columns))
+        return p.TableUDF(child, node.udf_name, node.input_columns,
+                          output=list(node.output))
+    raise PlanError(f"cannot prune {type(node).__name__}")

@@ -1,0 +1,6 @@
+"""Benchmark workload definitions: MATLAB sources, TPC-H UDF queries, and
+the Black-Scholes bs0–bs3 query variants."""
+
+from repro.workloads.matlab_sources import (  # noqa: F401
+    BLACKSCHOLES_MATLAB, BLACKSCHOLES_TABLE_MATLAB, MORGAN_MATLAB,
+)

@@ -1,0 +1,70 @@
+"""MATLAB sources for the evaluation workloads.
+
+These are the programs HorsePower compiles through the McLab-style
+pipeline: Black-Scholes (reimplemented from PARSEC as a vectorized MATLAB
+function, as the paper describes) with its CNDF helper, the Morgan kernel
+with its ``msum`` helper, and the table-UDF wrapper used by Table 4.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BLACKSCHOLES_MATLAB", "BLACKSCHOLES_TABLE_MATLAB",
+           "MORGAN_MATLAB", "CNDF_MATLAB"]
+
+CNDF_MATLAB = """
+function N = cndf(x)
+    invsqrt2pi = 0.39894228040143270286;
+    ax = abs(x);
+    k = 1 ./ (1 + 0.2316419 .* ax);
+    k2 = k .* k;
+    k3 = k2 .* k;
+    k4 = k3 .* k;
+    k5 = k4 .* k;
+    poly = 0.319381530 .* k - 0.356563782 .* k2 + 1.781477937 .* k3 ...
+           - 1.821255978 .* k4 + 1.330274429 .* k5;
+    n = 1 - invsqrt2pi .* exp(0 - 0.5 .* ax .* ax) .* poly;
+    N = n .* (x >= 0) + (1 - n) .* (x < 0);
+end
+"""
+
+BLACKSCHOLES_MATLAB = """
+function P = blackScholes(sptprice, strike, rate, volatility, otime, otype)
+    logterm = log(sptprice ./ strike);
+    powterm = 0.5 .* volatility .* volatility;
+    den = volatility .* sqrt(otime);
+    d1 = (((rate + powterm) .* otime) + logterm) ./ den;
+    d2 = d1 - den;
+    NofXd1 = cndf(d1);
+    NofXd2 = cndf(d2);
+    futureValue = strike .* exp(0 - rate .* otime);
+    callVal = (sptprice .* NofXd1) - (futureValue .* NofXd2);
+    putVal = (futureValue .* (1 - NofXd2)) - (sptprice .* (1 - NofXd1));
+    P = otype .* putVal + (1 - otype) .* callVal;
+end
+""" + CNDF_MATLAB
+
+BLACKSCHOLES_TABLE_MATLAB = """
+function T = blackScholesTbl(sptprice, strike, rate, volatility, otime, otype)
+    P = blackScholes(sptprice, strike, rate, volatility, otime, otype);
+    T = table(sptprice, otype, P);
+end
+""" + BLACKSCHOLES_MATLAB
+
+MORGAN_MATLAB = """
+function r = morgan(n, price, volume)
+    pv = price .* volume;
+    s1 = msum(pv, n);
+    s2 = msum(volume, n);
+    vwap = s1 ./ s2;
+    tail = price(n:end);
+    dev = tail - vwap;
+    scale = sqrt(mean(dev .* dev));
+    z = dev ./ scale;
+    signal = sign(z) .* min(abs(z), 3);
+    r = sum(signal .* dev);
+end
+function s = msum(x, n)
+    c = cumsum(x);
+    s = c(n:end) - [0, c(1:end-n)];
+end
+"""

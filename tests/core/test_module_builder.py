@@ -1,0 +1,130 @@
+"""Tests for the programmatic IR builder."""
+
+import numpy as np
+import pytest
+
+from repro.core import TableValue, from_numpy, types as ht, vector
+from repro.core.compiler import compile_module
+from repro.core.interp import run_module
+from repro.core.module_builder import ModuleBuilder
+from repro.errors import HorseIRError, HorseVerifyError
+
+
+def build_revenue_module():
+    b = ModuleBuilder("Revenue")
+    with b.method("main", [], ht.F64) as m:
+        t = m.call("load_table", m.sym("lineitem"), type=ht.TABLE)
+        price = m.call("column_value", t, m.sym("l_extendedprice"),
+                       type=ht.F64)
+        disc = m.call("column_value", t, m.sym("l_discount"),
+                      type=ht.F64)
+        mask = m.call("geq", disc, 0.05, type=ht.BOOL)
+        kept_p = m.call("compress", mask, price, type=ht.F64)
+        kept_d = m.call("compress", mask, disc, type=ht.F64)
+        product = m.call("mul", kept_p, kept_d, type=ht.F64)
+        m.ret(m.call("sum", product, type=ht.F64))
+    return b.build()
+
+
+@pytest.fixture
+def lineitem():
+    return TableValue([
+        ("l_extendedprice", from_numpy(np.array([10.0, 20.0, 30.0]))),
+        ("l_discount", from_numpy(np.array([0.01, 0.05, 0.10]))),
+    ])
+
+
+class TestBuilder:
+    def test_built_module_executes(self, lineitem):
+        module = build_revenue_module()
+        result = run_module(module, {"lineitem": lineitem})
+        assert result.item() == pytest.approx(20 * 0.05 + 30 * 0.10)
+
+    def test_built_module_compiles_optimized(self, lineitem):
+        module = build_revenue_module()
+        program = compile_module(module, "opt")
+        result = program.run({"lineitem": lineitem})
+        assert result.item() == pytest.approx(20 * 0.05 + 30 * 0.10)
+
+    def test_parameters(self):
+        b = ModuleBuilder("P")
+        with b.method("main", [("x", ht.F64)], ht.F64) as m:
+            doubled = m.call("mul", m.param("x"), 2.0, type=ht.F64)
+            m.ret(m.call("sum", doubled, type=ht.F64))
+        module = b.build()
+        result = run_module(module,
+                            args=[vector([1.0, 2.0], ht.F64)])
+        assert result.item() == pytest.approx(6.0)
+
+    def test_unknown_parameter_rejected(self):
+        b = ModuleBuilder("P")
+        with pytest.raises(HorseIRError, match="no parameter"):
+            with b.method("main", [("x", ht.F64)], ht.F64) as m:
+                m.param("y")
+                m.ret(m.param("x"))
+
+    def test_if_else_blocks(self):
+        b = ModuleBuilder("Cond")
+        with b.method("main", [("x", ht.I64)], ht.I64) as m:
+            cond = m.call("gt", m.param("x"), 10, type=ht.BOOL)
+            with m.if_(cond) as orelse:
+                m.let(1, ht.I64, name="r")
+                with orelse():
+                    m.let(0, ht.I64, name="r")
+            m.ret(_var("r"))
+        module = b.build()
+        assert run_module(module,
+                          args=[vector([20], ht.I64)]).item() == 1
+        assert run_module(module,
+                          args=[vector([3], ht.I64)]).item() == 0
+
+    def test_while_block(self):
+        b = ModuleBuilder("Loop")
+        with b.method("main", [("n", ht.I64)], ht.I64) as m:
+            m.let(0, ht.I64, name="total")
+            m.let(0, ht.I64, name="i")
+            m.call("lt", _var("i"), m.param("n"), type=ht.BOOL,
+                   name="c")
+            with m.while_(_var("c")):
+                m.call("add", _var("total"), _var("i"), type=ht.I64,
+                       name="total")
+                m.call("add", _var("i"), 1, type=ht.I64, name="i")
+                m.call("lt", _var("i"), m.param("n"), type=ht.BOOL,
+                       name="c")
+            m.ret(_var("total"))
+        module = b.build()
+        assert run_module(module,
+                          args=[vector([5], ht.I64)]).item() == 10
+
+    def test_unknown_builtin_rejected(self):
+        b = ModuleBuilder("Bad")
+        with pytest.raises(HorseIRError, match="unknown builtin"):
+            with b.method("main", [], ht.F64) as m:
+                m.call("frobnicate", 1.0)
+                m.ret(m.lit(0.0, ht.F64))
+
+    def test_build_verifies(self):
+        b = ModuleBuilder("NoReturn")
+        with b.method("main", [], ht.F64) as m:
+            m.let(1.0, ht.F64)
+        with pytest.raises(HorseVerifyError, match="return"):
+            b.build()
+
+    def test_invoke_user_method(self):
+        b = ModuleBuilder("TwoMethods")
+        with b.method("helper", [("v", ht.F64)], ht.F64) as m:
+            m.ret(m.call("mul", m.param("v"), 3.0, type=ht.F64))
+        with b.method("main", [("x", ht.F64)], ht.F64) as m:
+            tripled = m.invoke("helper", m.param("x"), type=ht.F64)
+            m.ret(m.call("sum", tripled, type=ht.F64))
+        module = b.build()
+        result = run_module(module, args=[vector([1.0, 2.0], ht.F64)])
+        assert result.item() == pytest.approx(9.0)
+        # And the optimizer can inline the built method.
+        program = compile_module(module, "opt")
+        assert list(program.module.methods) == ["main"]
+
+
+def _var(name):
+    from repro.core import ir
+    return ir.Var(name)

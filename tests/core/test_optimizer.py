@@ -1,0 +1,338 @@
+"""Unit tests for the optimizer passes (inline, constprop, cse, dce,
+patterns)."""
+
+import pytest
+
+from repro.core import ir
+from repro.core import types as ht
+from repro.core.optimizer import optimize
+from repro.core.optimizer.constprop import propagate_constants
+from repro.core.optimizer.copyprop import propagate_copies
+from repro.core.optimizer.cse import eliminate_common_subexpressions
+from repro.core.optimizer.dce import backward_slice, eliminate_dead_code
+from repro.core.optimizer.inline import can_inline, inline_methods
+from repro.core.optimizer.patterns import apply_patterns
+from repro.core.parser import parse_method, parse_module
+from repro.core.printer import print_method, print_module
+from repro.core.verify import verify_module
+
+# Figure 6 of the paper: the scalar-UDF version of the example query.
+FIGURE_6 = """
+module ExampleQuery {
+    def calcRevenueChangeScalar(price:f64, discount:f64): f64 {
+        x0:f64 = @mul(price, discount);
+        return x0;
+    }
+    def main(): f64 {
+        t0:table = @load_table(`lineitem:sym);
+        t1:f64 = check_cast(@column_value(t0, `l_extendedprice:sym), f64);
+        t2:f64 = check_cast(@column_value(t0, `l_discount:sym), f64);
+        t3:bool = @geq(t2, 0.05:f64);
+        t4:f64 = @compress(t3, t1);
+        t5:f64 = @compress(t3, t2);
+        t6:f64 = @calcRevenueChangeScalar(t4, t5);
+        t7:f64 = @sum(t6);
+        return t7;
+    }
+}
+"""
+
+
+class TestInlining:
+    def test_udf_body_is_merged_into_main(self):
+        module = parse_module(FIGURE_6)
+        inlined = inline_methods(module)
+        # The UDF is inlined at its only call site and removed.
+        assert list(inlined.methods) == ["main"]
+        text = print_module(inlined)
+        assert "calcRevenueChangeScalar" not in text
+        assert "@mul" in text
+        verify_module(inlined)
+
+    def test_inlined_module_is_semantically_identical(self):
+        import numpy as np
+        from repro.core import TableValue, from_numpy
+        from repro.core.interp import run_module
+
+        table = TableValue([
+            ("l_extendedprice", from_numpy(
+                np.array([10.0, 20.0, 30.0]))),
+            ("l_discount", from_numpy(np.array([0.10, 0.02, 0.06]))),
+        ])
+        module = parse_module(FIGURE_6)
+        inlined = inline_methods(module)
+        original = run_module(module, {"lineitem": table})
+        optimized = run_module(inlined, {"lineitem": table})
+        assert original.item() == pytest.approx(optimized.item())
+
+    def test_multiple_call_sites_all_inlined(self):
+        source = """
+        module M {
+            def double(x:f64): f64 {
+                y:f64 = @mul(x, 2.0:f64);
+                return y;
+            }
+            def main(a:f64): f64 {
+                b:f64 = @double(a);
+                c:f64 = @double(b);
+                d:f64 = @add(b, c);
+                return d;
+            }
+        }
+        """
+        module = parse_module(source)
+        inlined = inline_methods(module)
+        assert list(inlined.methods) == ["main"]
+        verify_module(inlined)
+
+    def test_reassigned_parameter_gets_a_private_copy(self):
+        source = """
+        module M {
+            def bump(x:f64): f64 {
+                x:f64 = @add(x, 1.0:f64);
+                return x;
+            }
+            def main(a:f64): f64 {
+                b:f64 = @bump(a);
+                c:f64 = @add(a, b);
+                return c;
+            }
+        }
+        """
+        from repro.core import F64, vector
+        from repro.core.interp import run_module
+
+        module = parse_module(source)
+        inlined = inline_methods(module)
+        verify_module(inlined)
+        result = run_module(inlined, args=[vector([10.0], F64)])
+        # a must still be 10 after the call: 10 + 11.
+        assert result.item() == pytest.approx(21.0)
+
+    def test_control_flow_callee_is_not_inlined(self):
+        source = """
+        module M {
+            def pick(x:i64): i64 {
+                c:bool = @gt(x, 0:i64);
+                if (c) {
+                    r:i64 = 1:i64;
+                } else {
+                    r:i64 = 0:i64;
+                }
+                return r;
+            }
+            def main(a:i64): i64 {
+                b:i64 = @pick(a);
+                return b;
+            }
+        }
+        """
+        module = parse_module(source)
+        assert not can_inline(module.methods["pick"])
+        inlined = inline_methods(module)
+        assert "pick" in inlined.methods
+
+    def test_nested_calls_inline_to_fixpoint(self):
+        source = """
+        module M {
+            def inner(x:f64): f64 {
+                y:f64 = @mul(x, 3.0:f64);
+                return y;
+            }
+            def outer(x:f64): f64 {
+                y:f64 = @inner(x);
+                z:f64 = @add(y, 1.0:f64);
+                return z;
+            }
+            def main(a:f64): f64 {
+                b:f64 = @outer(a);
+                return b;
+            }
+        }
+        """
+        inlined = inline_methods(parse_module(source))
+        assert list(inlined.methods) == ["main"]
+
+
+class TestConstProp:
+    def test_literal_propagates_and_folds(self):
+        method = parse_method("""
+        def main(): f64 {
+            a:f64 = 2.0:f64;
+            b:f64 = 3.0:f64;
+            c:f64 = @mul(a, b);
+            return c;
+        }
+        """)
+        assert propagate_constants(method)
+        text = print_method(method)
+        # After substitution, @mul(2.0, 3.0) folds to 6.0.
+        assert "@mul(2.0:f64, 3.0:f64)" in text or "6.0:f64" in text
+
+    def test_loop_carried_variables_not_propagated(self):
+        method = parse_method("""
+        def main(n:i64): i64 {
+            i:i64 = 0:i64;
+            c:bool = @lt(i, n);
+            while (c) {
+                i:i64 = @add(i, 1:i64);
+                c:bool = @lt(i, n);
+            }
+            return i;
+        }
+        """)
+        propagate_constants(method)
+        # The loop must still reference i, not the constant 0.
+        loop = method.body[2]
+        assert isinstance(loop, ir.While)
+        text = print_method(method)
+        assert "@add(i, 1:i64)" in text
+
+
+class TestCopyProp:
+    def test_alias_collapses(self):
+        method = parse_method("""
+        def main(a:f64): f64 {
+            b:f64 = a;
+            c:f64 = @mul(b, b);
+            return c;
+        }
+        """)
+        assert propagate_copies(method)
+        assert "@mul(a, a)" in print_method(method)
+
+
+class TestCSE:
+    def test_duplicate_expression_computed_once(self):
+        method = parse_method("""
+        def main(a:f64, b:f64): f64 {
+            x:f64 = @mul(a, b);
+            y:f64 = @mul(a, b);
+            z:f64 = @add(x, y);
+            return z;
+        }
+        """)
+        assert eliminate_common_subexpressions(method)
+        text = print_method(method)
+        assert text.count("@mul(a, b)") == 1
+
+    def test_source_builtins_never_merged(self):
+        method = parse_method("""
+        def main(): table {
+            a:table = @load_table(`t:sym);
+            b:table = @load_table(`t:sym);
+            return b;
+        }
+        """)
+        assert not eliminate_common_subexpressions(method)
+
+
+class TestDCE:
+    def test_unused_column_computation_removed(self):
+        # The bs2 scenario: a computed value never reaches the return.
+        method = parse_method("""
+        def main(price:f64, vol:f64): f64 {
+            expensive:f64 = @exp(vol);
+            keep:f64 = @mul(price, 2.0:f64);
+            r:f64 = @sum(keep);
+            return r;
+        }
+        """)
+        assert eliminate_dead_code(method)
+        text = print_method(method)
+        assert "@exp" not in text
+        assert "@mul" in text
+
+    def test_backward_slice_includes_transitive_deps(self):
+        method = parse_method("""
+        def main(a:f64): f64 {
+            b:f64 = @mul(a, 2.0:f64);
+            c:f64 = @add(b, 1.0:f64);
+            dead:f64 = @exp(a);
+            return c;
+        }
+        """)
+        live = backward_slice(method)
+        assert {"a", "b", "c"} <= live
+        assert "dead" not in live
+
+    def test_transitively_dead_chain_removed(self):
+        method = parse_method("""
+        def main(a:f64): f64 {
+            u:f64 = @exp(a);
+            v:f64 = @log(u);
+            w:f64 = @sqrt(v);
+            r:f64 = @mul(a, a);
+            return r;
+        }
+        """)
+        assert eliminate_dead_code(method)
+        assert len(method.body) == 2
+
+
+class TestPatterns:
+    def test_avg_splits_into_sum_and_count(self):
+        method = parse_method("""
+        def main(x:f64): f64 {
+            m:f64 = @avg(x);
+            return m;
+        }
+        """)
+        assert apply_patterns(method)
+        text = print_method(method)
+        assert "@sum" in text and "@count" in text and "@div" in text
+        assert "@avg" not in text
+
+    def test_masked_dot_pattern_fires_on_figure2_shape(self):
+        method = parse_method("""
+        def main(t1:f64, t2:f64): f64 {
+            t3:bool = @geq(t2, 0.05:f64);
+            t4:f64 = @compress(t3, t1);
+            t5:f64 = @compress(t3, t2);
+            t6:f64 = @mul(t4, t5);
+            t7:f64 = @sum(t6);
+            return t7;
+        }
+        """)
+        assert apply_patterns(method)
+        text = print_method(method)
+        assert "@dot_masked" in text
+        assert "@compress" not in text
+
+    def test_masked_sum_pattern(self):
+        method = parse_method("""
+        def main(m:bool, x:f64): f64 {
+            a:f64 = @compress(m, x);
+            s:f64 = @sum(a);
+            return s;
+        }
+        """)
+        assert apply_patterns(method)
+        assert "@sum_masked" in print_method(method)
+
+    def test_pattern_respects_multiple_consumers(self):
+        # t4 is used twice: the compress must NOT be folded away.
+        method = parse_method("""
+        def main(m:bool, x:f64): f64 {
+            a:f64 = @compress(m, x);
+            s:f64 = @sum(a);
+            c:f64 = @sum(a);
+            r:f64 = @add(s, c);
+            return r;
+        }
+        """)
+        apply_patterns(method)
+        assert "@compress" in print_method(method)
+
+
+class TestPipeline:
+    def test_full_pipeline_on_figure6(self):
+        module = parse_module(FIGURE_6)
+        optimized, stats = optimize(module)
+        verify_module(optimized)
+        assert list(optimized.methods) == ["main"]
+        assert stats.inlined_methods_removed == 1
+        text = print_module(optimized)
+        # After inlining + patterns, the whole WHERE/SELECT pipeline is a
+        # single masked dot product.
+        assert "@dot_masked" in text

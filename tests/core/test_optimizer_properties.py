@@ -1,0 +1,91 @@
+"""Meta-properties of the optimizer: idempotence, semantics preservation
+on a corpus of real modules, and pass interaction."""
+
+import numpy as np
+import pytest
+
+from repro.core import from_numpy
+from repro.core.compiler import compile_module
+from repro.core.interp import run_module
+from repro.core.optimizer import optimize
+from repro.core.parser import parse_module
+from repro.core.printer import print_module
+from repro.matlang import matlab_to_module
+from repro.workloads.matlab_sources import (BLACKSCHOLES_MATLAB,
+                                            MORGAN_MATLAB)
+
+_MORGAN_SPECS = [("f64", "scalar"), ("f64", "vector"), ("f64", "vector")]
+
+
+def _corpus():
+    """Real modules from the evaluation workloads."""
+    yield ("blackscholes", matlab_to_module(BLACKSCHOLES_MATLAB))
+    yield ("morgan", matlab_to_module(MORGAN_MATLAB, _MORGAN_SPECS))
+    yield ("figure6", parse_module("""
+    module ExampleQuery {
+        def calcRevenueChangeScalar(price:f64, discount:f64): f64 {
+            x0:f64 = @mul(price, discount);
+            return x0;
+        }
+        def main(t1:f64, t2:f64): f64 {
+            t3:bool = @geq(t2, 0.05:f64);
+            t4:f64 = @compress(t3, t1);
+            t5:f64 = @compress(t3, t2);
+            t6:f64 = @calcRevenueChangeScalar(t4, t5);
+            t7:f64 = @sum(t6);
+            return t7;
+        }
+    }
+    """))
+
+
+class TestOptimizerMetaProperties:
+    @pytest.mark.parametrize("name,module",
+                             list(_corpus()),
+                             ids=[n for n, _ in _corpus()])
+    def test_optimize_is_idempotent(self, name, module):
+        once, _ = optimize(module)
+        twice, stats = optimize(once)
+        assert print_module(once) == print_module(twice)
+
+    def test_optimization_preserves_semantics_blackscholes(self):
+        rng = np.random.default_rng(17)
+        n = 2000
+        args = [
+            from_numpy(rng.uniform(10, 100, n)),    # spot
+            from_numpy(rng.uniform(10, 100, n)),    # strike
+            from_numpy(rng.uniform(0.01, 0.1, n)),  # rate
+            from_numpy(rng.uniform(0.1, 0.6, n)),   # volatility
+            from_numpy(rng.uniform(0.1, 2.0, n)),   # otime
+            from_numpy(rng.integers(0, 2, n).astype(np.float64)),
+        ]
+        module = matlab_to_module(BLACKSCHOLES_MATLAB)
+        baseline = run_module(matlab_to_module(BLACKSCHOLES_MATLAB),
+                              args=args)
+        optimized, _ = optimize(module)
+        transformed = run_module(optimized, args=args)
+        np.testing.assert_allclose(transformed.data, baseline.data,
+                                   rtol=1e-12)
+
+    def test_every_level_agrees_on_morgan(self):
+        rng = np.random.default_rng(23)
+        price = from_numpy(100 + np.cumsum(rng.normal(0, 0.5, 5000)))
+        volume = from_numpy(np.exp(rng.normal(8, 0.5, 5000)))
+        window = from_numpy(np.array([50.0]))
+        args = [window, price, volume]
+
+        module_text = print_module(matlab_to_module(MORGAN_MATLAB,
+                                                    _MORGAN_SPECS))
+        interp = run_module(parse_module(module_text), args=args)
+        naive = compile_module(parse_module(module_text), "naive").run(
+            args=args)
+        opt = compile_module(parse_module(module_text), "opt").run(
+            args=args, chunk_size=512)
+        assert naive.item() == pytest.approx(interp.item())
+        assert opt.item() == pytest.approx(interp.item())
+
+    def test_optimized_module_still_prints_and_reparses(self):
+        for _, module in _corpus():
+            optimized, _ = optimize(module)
+            text = print_module(optimized)
+            assert print_module(parse_module(text)) == text

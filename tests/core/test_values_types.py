@@ -1,0 +1,138 @@
+"""Unit tests for the type system and runtime values."""
+
+import numpy as np
+import pytest
+
+from repro.core import types as ht
+from repro.core.values import (ListValue, TableValue, Vector, from_numpy,
+                               scalar, vector)
+from repro.errors import HorseRuntimeError, HorseTypeError
+
+
+class TestTypes:
+    def test_interning(self):
+        assert ht.make_type("f64") is ht.F64
+        assert ht.list_of(ht.F64) is ht.list_of(ht.F64)
+
+    def test_parse_type(self):
+        assert ht.parse_type("i32") is ht.I32
+        assert ht.parse_type("list<f64>") is ht.list_of(ht.F64)
+        assert ht.parse_type("list<list<bool>>") \
+            is ht.list_of(ht.list_of(ht.BOOL))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(HorseTypeError, match="unknown"):
+            ht.make_type("quaternion")
+
+    def test_promotion_ladder(self):
+        assert ht.promote(ht.BOOL, ht.I32) is ht.I32
+        assert ht.promote(ht.I64, ht.F32) is ht.F32
+        assert ht.promote(ht.I64, ht.F64) is ht.F64
+        assert ht.promote(ht.F32, ht.F64) is ht.F64
+
+    def test_promotion_rejects_non_numeric(self):
+        with pytest.raises(HorseTypeError):
+            ht.promote(ht.STR, ht.F64)
+
+    def test_unify_with_wildcard(self):
+        assert ht.unify(ht.WILDCARD, ht.F64) is ht.F64
+        assert ht.unify(ht.F64, ht.WILDCARD) is ht.F64
+        assert ht.unify(ht.list_of(ht.WILDCARD),
+                        ht.list_of(ht.I64)) is ht.list_of(ht.I64)
+
+    def test_unify_incompatible(self):
+        with pytest.raises(HorseTypeError):
+            ht.unify(ht.STR, ht.DATE)
+
+    def test_numpy_dtype_round_trip(self):
+        for type_ in (ht.BOOL, ht.I8, ht.I16, ht.I32, ht.I64, ht.F32,
+                      ht.F64, ht.DATE):
+            assert ht.type_of_dtype(ht.numpy_dtype(type_)) is type_
+
+    def test_wildcard_prints_parsable_spelling(self):
+        assert str(ht.WILDCARD) == "unknown"
+
+    def test_comparability(self):
+        assert ht.is_comparable(ht.DATE)
+        assert ht.is_comparable(ht.STR)
+        assert ht.is_comparable(ht.F64)
+        assert not ht.is_comparable(ht.TABLE)
+
+
+class TestVector:
+    def test_construction_coerces_dtype(self):
+        v = Vector(ht.F64, np.array([1, 2], dtype=np.int64))
+        assert v.data.dtype == np.float64
+
+    def test_rejects_multidimensional(self):
+        with pytest.raises(HorseTypeError, match="one-dimensional"):
+            Vector(ht.F64, np.zeros((2, 2)))
+
+    def test_item_requires_scalar(self):
+        with pytest.raises(HorseRuntimeError, match="scalar"):
+            vector([1.0, 2.0], ht.F64).item()
+
+    def test_item_unwraps_numpy_scalars(self):
+        value = scalar(3, ht.I64).item()
+        assert value == 3 and isinstance(value, int)
+
+    def test_astype_identity_is_no_copy(self):
+        v = vector([1.0], ht.F64)
+        assert v.astype(ht.F64) is v
+
+    def test_equality(self):
+        assert vector([1.0, 2.0], ht.F64) == vector([1.0, 2.0], ht.F64)
+        assert vector([1.0], ht.F64) != vector([2.0], ht.F64)
+
+    def test_scalar_inference(self):
+        assert scalar(True).type is ht.BOOL
+        assert scalar(3).type is ht.I64
+        assert scalar(2.5).type is ht.F64
+        assert scalar("x").type is ht.STR
+        assert scalar(np.datetime64("2020-01-01")).type is ht.DATE
+
+    def test_from_numpy_unicode_becomes_str_objects(self):
+        v = from_numpy(np.array(["ab", "cd"]))
+        assert v.type is ht.STR
+        assert v.data.dtype == object
+
+
+class TestTableValue:
+    def test_schema_checks(self):
+        with pytest.raises(HorseTypeError, match="length"):
+            TableValue([("a", vector([1.0], ht.F64)),
+                        ("b", vector([1.0, 2.0], ht.F64))])
+        with pytest.raises(HorseTypeError, match="duplicate"):
+            TableValue([("a", vector([1.0], ht.F64)),
+                        ("a", vector([2.0], ht.F64))])
+
+    def test_missing_column_message_lists_available(self):
+        table = TableValue([("x", vector([1.0], ht.F64))])
+        with pytest.raises(HorseRuntimeError, match="x"):
+            table.column("y")
+
+    def test_head_and_to_pylist(self):
+        table = TableValue([("x", vector([1.0, 2.0, 3.0], ht.F64))])
+        assert table.head(2).num_rows == 2
+        assert table.to_pylist() == [{"x": 1.0}, {"x": 2.0}, {"x": 3.0}]
+
+    def test_empty_table(self):
+        table = TableValue([])
+        assert table.num_rows == 0
+        assert table.num_columns == 0
+
+
+class TestListValue:
+    def test_homogeneous_list_types(self):
+        lst = ListValue([vector([1.0], ht.F64), vector([2.0], ht.F64)])
+        assert lst.type is ht.list_of(ht.F64)
+
+    def test_mixed_list_is_wildcard(self):
+        lst = ListValue([vector([1.0], ht.F64), vector([1], ht.I64)])
+        assert lst.type is ht.list_of(ht.WILDCARD)
+
+    def test_indexing_and_iteration(self):
+        items = [vector([1.0], ht.F64), vector([2.0], ht.F64)]
+        lst = ListValue(items)
+        assert lst[1] == items[1]
+        assert list(lst) == items

@@ -1,0 +1,167 @@
+"""Unit tests for the column-store engine: tables, storage/CSV, the UDF
+bridge's conversion boundary, and the plan executor."""
+
+import numpy as np
+import pytest
+
+from repro.core import types as ht
+from repro.engine.storage import Database
+from repro.engine.table import ColumnTable
+from repro.engine.udf_bridge import UDFBridge
+from repro.errors import StorageError, UDFError
+from repro.sql.udf import ScalarUDF, TableUDFDef
+
+
+class TestColumnTable:
+    def test_schema_and_access(self):
+        table = ColumnTable("t", {
+            "x": np.array([1.0, 2.0]),
+            "n": np.array([1, 2], dtype=np.int64),
+        })
+        assert table.num_rows == 2
+        assert table.column_names == ["x", "n"]
+        assert table.column_type("x") == ht.F64
+        assert table.column_type("n") == ht.I64
+
+    def test_length_mismatch_rejected(self):
+        table = ColumnTable("t", {"x": np.array([1.0, 2.0])})
+        with pytest.raises(StorageError, match="rows"):
+            table.add_column("y", np.array([1.0]))
+
+    def test_duplicate_column_rejected(self):
+        table = ColumnTable("t", {"x": np.array([1.0])})
+        with pytest.raises(StorageError, match="duplicate"):
+            table.add_column("x", np.array([2.0]))
+
+    def test_unicode_arrays_become_object(self):
+        table = ColumnTable("t", {"s": np.array(["a", "b"])})
+        assert table.column("s").dtype == object
+        assert table.column_type("s") == ht.STR
+
+    def test_round_trip_through_table_value(self):
+        table = ColumnTable("t", {"x": np.array([1.0, 2.0])})
+        value = table.to_table_value()
+        # Zero-copy view.
+        assert value.column("x").data is table.column("x")
+        back = ColumnTable.from_table_value("t2", value)
+        assert np.allclose(back.column("x"), table.column("x"))
+
+
+class TestDatabase:
+    def test_create_and_drop(self):
+        db = Database()
+        db.create_table("t", {"x": np.array([1.0])})
+        assert db.table_names() == ["t"]
+        db.drop_table("t")
+        assert db.table_names() == []
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table("t", {"x": np.array([1.0])})
+        with pytest.raises(StorageError, match="already exists"):
+            db.create_table("t", {"x": np.array([1.0])})
+
+    def test_catalog_derivation(self):
+        db = Database()
+        db.create_table("t", {"x": np.array([1.0])})
+        catalog = db.catalog()
+        assert catalog.table("t").column_type("x") == ht.F64
+
+    def test_csv_round_trip(self, tmp_path):
+        db = Database()
+        db.create_table("t", {
+            "i": np.array([1, 2, 3], dtype=np.int64),
+            "f": np.array([1.5, 2.5, -3.0]),
+            "s": np.array(["a", "b|c".replace("|", ";"), "d"],
+                          dtype=object),
+            "d": np.array(["2020-01-01", "1998-09-02", "1970-01-01"],
+                          dtype="datetime64[D]"),
+        })
+        path = str(tmp_path / "t.tbl")
+        db.save_csv("t", path)
+
+        db2 = Database()
+        loaded = db2.load_csv("t", path, [
+            ("i", ht.I64), ("f", ht.F64), ("s", ht.STR), ("d", ht.DATE),
+        ])
+        assert loaded.num_rows == 3
+        assert np.array_equal(loaded.column("i"), db.table("t").column("i"))
+        assert np.allclose(loaded.column("f"), db.table("t").column("f"))
+        assert loaded.column("s").tolist() == \
+            db.table("t").column("s").tolist()
+        assert np.array_equal(loaded.column("d"),
+                              db.table("t").column("d"))
+
+    def test_csv_short_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.tbl"
+        path.write_text("1|2\n3\n")
+        db = Database()
+        with pytest.raises(StorageError, match="fields"):
+            db.load_csv("bad", str(path), [("a", ht.I64), ("b", ht.I64)])
+
+
+class TestUDFBridge:
+    def test_integers_are_zero_copy(self):
+        bridge = UDFBridge()
+        udf = ScalarUDF("f", [ht.I64], ht.I64,
+                        python_impl=lambda x: x)
+        data = np.array([1, 2, 3], dtype=np.int64)
+        result = bridge.call_scalar(udf, [data])
+        assert result is data
+        assert bridge.values_converted_in == 0
+
+    def test_floats_pay_a_conversion_pass(self):
+        bridge = UDFBridge()
+        udf = ScalarUDF("f", [ht.F64], ht.F64,
+                        python_impl=lambda x: x)
+        data = np.array([1.0, 2.0])
+        bridge.call_scalar(udf, [data])
+        assert bridge.values_converted_in == 2
+        # ... and the result converts back.
+        assert bridge.values_converted_out == 2
+
+    def test_strings_rematerialize_per_element(self):
+        bridge = UDFBridge()
+        seen = {}
+
+        def capture(values):
+            seen["values"] = values
+            return np.ones(len(values))
+
+        udf = ScalarUDF("f", [ht.STR], ht.F64, python_impl=capture)
+        original = np.empty(2, dtype=object)
+        original[0] = "hello"
+        original[1] = "world"
+        bridge.call_scalar(udf, [original])
+        converted = seen["values"]
+        assert converted[0] == "hello"
+        assert converted[0] is not original[0]  # fresh object
+        assert bridge.values_converted_in == 2
+
+    def test_dates_cross_as_day_counts(self):
+        bridge = UDFBridge()
+        seen = {}
+
+        def capture(days):
+            seen["days"] = days
+            return np.zeros(len(days))
+
+        udf = ScalarUDF("f", [ht.DATE], ht.F64, python_impl=capture)
+        dates = np.array(["1970-01-03", "1970-01-01"],
+                         dtype="datetime64[D]")
+        bridge.call_scalar(udf, [dates])
+        assert seen["days"].tolist() == [2, 0]
+
+    def test_table_udf_output_count_checked(self):
+        bridge = UDFBridge()
+        udf = TableUDFDef("tf", [ht.F64],
+                          [("a", ht.F64), ("b", ht.F64)],
+                          python_impl=lambda x: [x])
+        with pytest.raises(UDFError, match="declared 2"):
+            bridge.call_table(udf, [np.array([1.0])])
+
+    def test_missing_python_impl(self):
+        bridge = UDFBridge()
+        udf = ScalarUDF("f", [ht.F64], ht.F64)
+        with pytest.raises(UDFError, match="no Python implementation"):
+            bridge.call_scalar(udf, [np.array([1.0])])

@@ -1,0 +1,79 @@
+"""CLI smoke tests (python -m repro)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.engine.storage import Database
+
+
+@pytest.fixture
+def csv_table(tmp_path):
+    db = Database()
+    db.create_table("t", {
+        "x": np.array([1.0, 2.0, 3.0]),
+        "label": np.array(["a", "b", "a"], dtype=object),
+    })
+    path = tmp_path / "t.tbl"
+    db.save_csv("t", str(path))
+    return str(path)
+
+
+def test_run_sql_on_csv(csv_table, capsys):
+    code = main(["run-sql",
+                 "--table", f"t={csv_table}@x:f64,label:str",
+                 "SELECT SUM(x) AS s FROM t"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "6.0" in out
+
+
+def test_run_sql_monetdb_system(csv_table, capsys):
+    code = main(["run-sql", "--system", "monetdb",
+                 "--table", f"t={csv_table}@x:f64,label:str",
+                 "SELECT COUNT(*) AS n FROM t WHERE label = 'a'"])
+    assert code == 0
+    assert "2" in capsys.readouterr().out
+
+
+def test_run_sql_with_generated_tpch(capsys):
+    code = main(["run-sql", "--tpch", "0.001",
+                 "SELECT COUNT(*) AS n FROM lineitem"])
+    assert code == 0
+    assert "n" in capsys.readouterr().out
+
+
+def test_compile_sql_shows_provenance(csv_table, capsys):
+    code = main(["compile-sql",
+                 "--table", f"t={csv_table}@x:f64,label:str",
+                 "SELECT SUM(x * x) AS s FROM t WHERE x > 1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "logical plan" in out
+    assert "@load_table" in out
+    assert "compile time" in out
+
+
+def test_compile_matlab(tmp_path, capsys):
+    source = tmp_path / "f.m"
+    source.write_text(
+        "function y = f(x)\n    y = sum(x .* x);\nend\n")
+    code = main(["compile-matlab", str(source)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "@mul" in out and "@sum" in out
+
+
+def test_gen_tpch(tmp_path, capsys):
+    out_dir = tmp_path / "tpch"
+    code = main(["gen-tpch", "--scale-factor", "0.001",
+                 "--out", str(out_dir)])
+    assert code == 0
+    assert (out_dir / "lineitem.tbl").exists()
+    assert (out_dir / "region.tbl").exists()
+
+
+def test_bad_schema_type_message(csv_table):
+    with pytest.raises(SystemExit, match="unknown column type"):
+        main(["run-sql", "--table", f"t={csv_table}@x:quaternion",
+              "SELECT x FROM t"])

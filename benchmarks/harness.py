@@ -30,7 +30,8 @@ from repro.workloads.bs_queries import register_bs_udfs
 from repro.workloads.tpch_queries import register_tpch_udfs
 
 __all__ = ["bench_scale", "thread_counts", "make_tpch_systems",
-           "make_bs_systems", "time_callable", "Timed"]
+           "make_bs_systems", "time_callable", "Timed",
+           "time_cold_warm", "ColdWarm"]
 
 
 def bench_scale() -> float:
@@ -111,3 +112,43 @@ def time_callable(fn, *, warmup: int = 1, rounds: int = 3) -> Timed:
         value = fn()
         times.append(time.perf_counter() - start)
     return Timed(float(np.median(times)), value)
+
+
+class ColdWarm:
+    """Cold (first, compiling) vs warm (cache-served) ``run_sql`` cost.
+
+    ``speedup`` is the prepared-query payoff: how much of the cold call
+    was compilation that the :class:`~repro.horsepower.cache.PlanCache`
+    amortizes away on repeat traffic.
+    """
+
+    def __init__(self, cold_seconds: float, warm_seconds: float,
+                 compile_seconds: float):
+        self.cold_seconds = cold_seconds
+        self.warm_seconds = warm_seconds
+        self.compile_seconds = compile_seconds
+
+    @property
+    def speedup(self) -> float:
+        return (self.cold_seconds / self.warm_seconds
+                if self.warm_seconds > 0 else float("inf"))
+
+
+def time_cold_warm(system: HorsePowerSystem, sql: str, *,
+                   n_threads: int = 1, warm_rounds: int = 3) -> ColdWarm:
+    """Measure one cold ``run_sql`` (fresh cache entry: full
+    parse→plan→optimize→codegen) and the median warm repeat (plan-cache
+    hit: execution only)."""
+    start = time.perf_counter()
+    prepared = system.prepare(sql)
+    prepared.run(n_threads=n_threads)
+    cold = time.perf_counter() - start
+    if prepared.cached:
+        # The entry pre-dated this call: measuring a warmed query as
+        # "cold" would understate the compile cost, so fail loudly.
+        raise RuntimeError(f"query already cached; cold timing is "
+                           f"meaningless: {sql!r}")
+    warm = time_callable(
+        lambda: system.run_sql(sql, n_threads=n_threads),
+        warmup=1, rounds=warm_rounds)
+    return ColdWarm(cold, warm.seconds, prepared.compile_seconds)

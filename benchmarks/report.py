@@ -33,8 +33,10 @@ def _parse_args(argv):
                         help="comma-separated thread counts")
     parser.add_argument("--out", type=str, default=None,
                         help="also write the report to this file")
-    parser.add_argument("--tables", type=str, default="1,2,3,4",
-                        help="which tables to run (e.g. 1,4)")
+    parser.add_argument("--tables", type=str, default="1,2,3,4,cache",
+                        help="which tables to run (e.g. 1,4,cache; "
+                             "'cache' is the prepared-query cold/warm "
+                             "table)")
     return parser.parse_args(argv)
 
 
@@ -64,6 +66,8 @@ def main(argv=None) -> int:
         tables.report_table3(emit)
     if "4" in wanted:
         tables.report_table4(emit)
+    if "cache" in wanted:
+        tables.report_plan_cache(emit)
 
     if args.out:
         with open(args.out, "w") as handle:

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from benchmarks.harness import (TABLE1_SIZES, bench_scale,
                                 make_bs_systems, make_tpch_systems,
-                                thread_counts, time_callable)
+                                thread_counts, time_callable,
+                                time_cold_warm)
 from repro.data.blackscholes import calc_option_price, generate_blackscholes
 from repro.data.morgan import generate_morgan
 from repro.core.codegen.cgen import c_backend_available
@@ -24,7 +25,7 @@ from repro.workloads.matlab_sources import (BLACKSCHOLES_MATLAB,
 from repro.workloads.tpch_queries import TPCH_UDF_QUERY_NAMES, UDF_QUERIES
 
 __all__ = ["report_table1", "report_table2", "report_table3",
-           "report_table4"]
+           "report_table4", "report_plan_cache"]
 
 
 def _fmt_ms(seconds: float) -> str:
@@ -210,3 +211,29 @@ def report_table4(emit) -> None:
             row += f" | {compiled.compile_seconds * 1000:6.1f}"
             emit(row)
         emit()
+
+
+def report_plan_cache(emit) -> None:
+    """Cold vs. warm ``run_sql``: the prepared-query cache payoff.
+
+    COLD is the first call (parse -> plan -> optimize -> codegen +
+    execution), WARM the median cache-served repeat (execution only);
+    SPEEDUP is cold/warm -- the amortized compilation win for repeated
+    query traffic.  COMP is the compile share of the cold call.
+    """
+    emit("## Prepared-query cache -- cold vs warm run_sql "
+         "(TPC-H UDF queries)")
+    emit()
+    hp, _ = make_tpch_systems()
+    emit(f"{'query':>8} | {'COLD ms':>9} {'WARM ms':>9} "
+         f"{'COMP ms':>9} {'SPEEDUP':>8}")
+    for query in TPCH_UDF_QUERY_NAMES:
+        hp.plan_cache.invalidate()
+        cw = time_cold_warm(hp, UDF_QUERIES[query])
+        emit(f"{query:>8} | {_fmt_ms(cw.cold_seconds)} "
+             f"{_fmt_ms(cw.warm_seconds)} "
+             f"{_fmt_ms(cw.compile_seconds)} "
+             f"{_fmt_speedup(cw.speedup)}")
+    stats = hp.cache_stats
+    emit(f"plan cache: {stats.summary()}")
+    emit()

@@ -78,11 +78,20 @@ def _cmd_run_sql(args) -> int:
 
     db = _load_tables(args)
     sql = args.query if args.query else sys.stdin.read()
+    repeat = max(1, args.repeat)
     if args.system == "monetdb":
-        result = MonetDBLike(db).run_sql(sql, n_threads=args.threads)
+        mdb = MonetDBLike(db)
+        for _ in range(repeat):
+            result = mdb.run_sql(sql, n_threads=args.threads)
     else:
-        result = HorsePowerSystem(db).run_sql(sql,
-                                              n_threads=args.threads)
+        hp = HorsePowerSystem(db)
+        use_cache = not args.no_cache
+        for _ in range(repeat):
+            result = hp.run_sql(sql, n_threads=args.threads,
+                                use_cache=use_cache)
+        if args.cache_stats:
+            print(f"-- plan cache: {hp.cache_stats.summary()} "
+                  f"entries={len(hp.plan_cache)}")
     _print_table(result, args.limit)
     return 0
 
@@ -159,6 +168,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_sql.add_argument("--threads", type=int, default=1)
     run_sql.add_argument("--limit", type=int, default=20,
                          help="max rows to print")
+    run_sql.add_argument("--repeat", type=int, default=1,
+                         help="run the query N times (repeats hit the "
+                              "prepared-query cache)")
+    run_sql.add_argument("--no-cache", action="store_true",
+                         help="bypass the plan cache (recompile every "
+                              "run)")
+    run_sql.add_argument("--cache-stats", action="store_true",
+                         help="print plan-cache hit/miss/eviction "
+                              "counters (horsepower system only)")
     run_sql.set_defaults(fn=_cmd_run_sql)
 
     compile_sql = commands.add_parser(

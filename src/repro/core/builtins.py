@@ -280,10 +280,14 @@ _make_elementwise("not", 1, np.logical_not, _infer_bool,
                   c_template='(!{0})')
 _make_elementwise("min2", 2, np.minimum, _infer_promote,
                   "np.minimum({0}, {1})", ufunc="np.minimum",
-                  c_template='(({0} < {1}) ? {0} : {1})')
+                  # NaN-propagating, like np.minimum (a plain ternary
+                  # would return the non-NaN operand).
+                  c_template='(({0} != {0}) ? {0} : (({1} != {1}) ? {1} '
+                             ': (({0} < {1}) ? {0} : {1})))')
 _make_elementwise("max2", 2, np.maximum, _infer_promote,
                   "np.maximum({0}, {1})", ufunc="np.maximum",
-                  c_template='(({0} > {1}) ? {0} : {1})')
+                  c_template='(({0} != {0}) ? {0} : (({1} != {1}) ? {1} '
+                             ': (({0} > {1}) ? {0} : {1})))')
 _make_elementwise("if_else", 3, lambda m, a, b: np.where(m, a, b),
                   _infer_second, "np.where({0}, {1}, {2})",
                   c_template='({0} ? {1} : {2})')
@@ -423,8 +427,11 @@ def _reduction_identity(name: str, out_type: ht.HorseType):
 _make_reduction("sum", np.sum, _infer_sum, "np.sum({0})", "sum")
 _make_reduction("prod", np.prod, _infer_sum, "np.prod({0})", "prod")
 _make_reduction("avg", np.mean, _infer_f64, "np.sum({0})", "avg")
-_make_reduction("min", np.min, _infer_first, "np.min({0})", "min")
-_make_reduction("max", np.max, _infer_first, "np.max({0})", "max")
+# min/max chunk partials use a guarded helper: a chunk whose compressed
+# selection is empty yields a None partial (dropped by the combiner)
+# instead of np.min's raw ValueError on a zero-size array.
+_make_reduction("min", np.min, _infer_first, "_chunk_min({0})", "min")
+_make_reduction("max", np.max, _infer_first, "_chunk_max({0})", "max")
 _make_reduction("count", len, _infer_i64, "np.int64(len({0}))", "sum")
 _make_reduction("any", np.any, _infer_bool, "np.any({0})", "any")
 _make_reduction("all", np.all, _infer_bool, "np.all({0})", "all")

@@ -35,7 +35,7 @@ from repro.core import ir
 from repro.core import types as ht
 from repro.core.optimizer.fusion import ANY, BASE, Segment
 from repro.core.values import Vector
-from repro.errors import CodegenError, HorseRuntimeError
+from repro.errors import BuiltinError, CodegenError, HorseRuntimeError
 
 __all__ = ["CKernel", "c_backend_available", "gcc_version"]
 
@@ -192,6 +192,18 @@ class _SourceBuilder:
             params.append(f"double* restrict {name}_r")
 
         lines = ["#include <math.h>", ""]
+        # NaN-propagating min/max combiners: np.min/np.max return NaN
+        # when any element is NaN, but OpenMP's built-in min/max (and
+        # fmin/fmax) silently drop it.
+        if any(combine in ("min", "max") for _, combine in reductions):
+            for red, fn, init in (("nanmin", "fmin", "INFINITY"),
+                                  ("nanmax", "fmax", "-INFINITY")):
+                lines.append(
+                    f"#pragma omp declare reduction({red} : double : "
+                    f"omp_out = ((omp_out != omp_out) || "
+                    f"(omp_in != omp_in)) ? NAN : {fn}(omp_out, omp_in)) "
+                    f"initializer(omp_priv = {init})")
+            lines.append("")
         lines.append(f"void {self.name}({', '.join(params)}) {{")
 
         acc_decls, omp_reductions, finals = self._accumulators(reductions,
@@ -216,7 +228,13 @@ class _SourceBuilder:
             if combine in ("min", "max"):
                 init = "INFINITY" if combine == "min" else "-INFINITY"
                 decls.append(f"    double {name}_acc = {init};")
-                omp.append(f"reduction({combine}:{name}_acc)")
+                omp.append(f"reduction(nan{combine}:{name}_acc)")
+                # Selected-element count: min/max over an empty
+                # selection must raise, not return +/-INFINITY; the
+                # invoker checks slot [1].
+                decls.append(f"    double {name}_nsel = 0;")
+                omp.append(f"reduction(+:{name}_nsel)")
+                finals.append(f"    {name}_r[1] = {name}_nsel;")
             else:
                 decls.append(f"    double {name}_acc = {identity};")
                 omp.append(f"reduction({op}:{name}_acc)")
@@ -304,12 +322,14 @@ class _SourceBuilder:
             return f"{target}_acc *= (double)({value});"
         if reducer == "count":
             return f"{target}_acc += 1;"
-        if reducer == "min":
-            return (f"{target}_acc = fmin({target}_acc, "
-                    f"(double)({value}));")
-        if reducer == "max":
-            return (f"{target}_acc = fmax({target}_acc, "
-                    f"(double)({value}));")
+        if reducer in ("min", "max"):
+            # NaN-propagating, like np.min/np.max (fmin/fmax return the
+            # non-NaN operand).
+            fn = "fmin" if reducer == "min" else "fmax"
+            return (f"{target}_acc = (({target}_acc != {target}_acc) || "
+                    f"((double)({value}) != (double)({value}))) ? NAN "
+                    f": {fn}({target}_acc, (double)({value})); "
+                    f"{target}_nsel += 1;")
         if reducer == "any":
             return f"{target}_acc = {target}_acc || ({value} != 0);"
         if reducer == "all":
@@ -424,7 +444,12 @@ class CKernel:
                 vector_buffers.append((name, buffer))
                 args.append(buffer.ctypes.data_as(ctypes.c_void_p))
             else:
-                buffer = np.empty(1, dtype=np.float64)
+                # min/max kernels write the selected-element count into
+                # slot [1] so an empty selection can raise like the
+                # interpreter instead of returning +/-INFINITY.
+                combine = role.split(":", 1)[1]
+                slots = 2 if combine in ("min", "max") else 1
+                buffer = np.empty(slots, dtype=np.float64)
                 reduction_buffers.append((name, buffer))
                 args.append(buffer.ctypes.data_as(ctypes.c_void_p))
 
@@ -440,6 +465,9 @@ class CKernel:
                 outputs.append(Vector(type_, buffer))
             else:
                 _, buffer = next(reduction_iter)
+                combine = role.split(":", 1)[1]
+                if combine in ("min", "max") and buffer[1] == 0:
+                    raise BuiltinError(f"@{combine} of an empty vector")
                 value = np.empty(1, dtype=ht.numpy_dtype(type_))
                 value[0] = buffer[0]
                 outputs.append(Vector(type_, value))

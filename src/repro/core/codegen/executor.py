@@ -16,8 +16,9 @@ import numpy as np
 
 from repro.core import types as ht
 from repro.core.codegen.pygen import CompiledKernel
+from repro.core.execpool import get_pool
 from repro.core.values import Vector
-from repro.errors import HorseRuntimeError
+from repro.errors import BuiltinError, HorseRuntimeError
 
 __all__ = ["run_kernel", "DEFAULT_CHUNK_SIZE"]
 
@@ -40,8 +41,12 @@ def run_kernel(kernel: CompiledKernel, inputs: list[Vector],
         return _empty_outputs(kernel, arrays)
 
     if n <= chunk_size:
-        results = kernel.fn(*arrays)
-        return _wrap_outputs(kernel, list(results))
+        results = list(kernel.fn(*arrays))
+        for index, (name, role) in enumerate(kernel.outputs):
+            if role != "vector" and results[index] is None:
+                combine = role.split(":", 1)[1]
+                raise BuiltinError(f"@{combine} of an empty vector")
+        return _wrap_outputs(kernel, results)
 
     bounds = [(lo, min(lo + chunk_size, n))
               for lo in range(0, n, chunk_size)]
@@ -53,11 +58,9 @@ def run_kernel(kernel: CompiledKernel, inputs: list[Vector],
         return kernel.fn(*sliced)
 
     if n_threads > 1 and len(bounds) > 1:
-        if pool is not None:
-            chunk_results = list(pool.map(run_chunk, bounds))
-        else:
-            with ThreadPoolExecutor(max_workers=n_threads) as local_pool:
-                chunk_results = list(local_pool.map(run_chunk, bounds))
+        if pool is None:
+            pool = get_pool(n_threads)
+        chunk_results = list(pool.map(run_chunk, bounds))
     else:
         chunk_results = [run_chunk(bound) for bound in bounds]
 
@@ -69,20 +72,28 @@ def run_kernel(kernel: CompiledKernel, inputs: list[Vector],
                 [np.atleast_1d(np.asarray(p)) for p in parts]))
         else:
             combine = role.split(":", 1)[1]
-            combined.append(_combine(combine, parts))
+            combined.append(_combine(combine, parts,
+                                     kernel.output_types[index]))
     return _wrap_outputs(kernel, combined)
 
 
 def _base_length(kernel: CompiledKernel, arrays: list[np.ndarray]) -> int:
-    n = 1
+    """The chunked iteration count: the common length of the streamed
+    inputs.  Length-1 streamed inputs are broadcast scalars and never
+    constrain (or satisfy) the length check, regardless of argument
+    order; any other two lengths — including 0 vs. n — must agree."""
+    n = None
+    first = None
     for name, arr, stream in zip(kernel.inputs, arrays, kernel.streamed):
-        if stream and len(arr) > 1:
-            if n > 1 and len(arr) != n:
-                raise HorseRuntimeError(
-                    f"fused segment input {name!r} has length {len(arr)}, "
-                    f"expected {n}")
-            n = max(n, len(arr))
-    return n if arrays else 1
+        if not stream or len(arr) == 1:
+            continue
+        if n is None:
+            n, first = len(arr), name
+        elif len(arr) != n:
+            raise HorseRuntimeError(
+                f"fused segment input {name!r} has length {len(arr)}, "
+                f"expected {n} (the length of {first!r})")
+    return 1 if n is None else n
 
 
 def _empty_outputs(kernel: CompiledKernel,
@@ -90,7 +101,11 @@ def _empty_outputs(kernel: CompiledKernel,
     """All-empty inputs: reductions fold to identities, vectors are empty.
 
     Running the kernel is unsafe for min/max on empty chunks, so outputs
-    are synthesized from roles and declared types instead.
+    are synthesized from roles and declared types instead.  Identities
+    (and the min/max error) match ``_reduction_identity`` in
+    :mod:`repro.core.builtins` exactly, so the compiled path agrees with
+    the interpreter on empty inputs — same values, same dtypes, and the
+    same error type and message where the interpreter raises.
     """
     outputs: list[Vector] = []
     for (name, role), type_ in zip(kernel.outputs, kernel.output_types):
@@ -105,14 +120,16 @@ def _empty_outputs(kernel: CompiledKernel,
             identity = 0
         elif combine == "prod":
             identity = 1
+        elif combine == "avg":
+            identity = float("nan")
         elif combine == "any":
             identity = False
         elif combine == "all":
             identity = True
         else:
-            raise HorseRuntimeError(
-                f"@{combine}-style reduction of an empty vector "
-                f"(output {name!r})")
+            # Mirrors BuiltinError("@min of an empty vector") from the
+            # interpreter's reduction builtins, message included.
+            raise BuiltinError(f"@{combine} of an empty vector")
         out = np.empty(1, dtype=dtype)
         out[0] = identity
         outputs.append(Vector(type_ if not type_.is_wildcard else ht.F64,
@@ -120,19 +137,40 @@ def _empty_outputs(kernel: CompiledKernel,
     return outputs
 
 
-def _combine(combine: str, parts: list):
+def _combine(combine: str, parts: list, type_: ht.HorseType):
+    """Merge per-chunk reduction partials in the *declared* output dtype.
+
+    ``np.sum(np.asarray(parts))`` would let NumPy pick the accumulator
+    (bool partials become int64, int32 accumulates as the platform int),
+    silently diverging from the single-chunk run where the kernel result
+    is cast to the declared dtype once at the end.  Casting the partials
+    first and pinning the accumulator keeps chunked, multi-threaded
+    results bit-identical to unchunked ones — integer wraparound is
+    modular, so truncate-then-sum equals sum-then-truncate.
+
+    ``None`` partials mark min/max chunks whose compressed selection was
+    empty: they drop out of the merge (min-of-mins over the non-empty
+    chunks), and if *every* chunk was empty the reduction raises exactly
+    like the interpreter's builtin.
+    """
+    parts = [p for p in parts if p is not None]
+    if not parts:
+        raise BuiltinError(f"@{combine} of an empty vector")
+    arr = np.asarray(parts)
+    if not type_.is_wildcard:
+        arr = arr.astype(ht.numpy_dtype(type_), copy=False)
     if combine == "sum":
-        return np.sum(np.asarray(parts))
+        return np.sum(arr, dtype=arr.dtype)
     if combine == "prod":
-        return np.prod(np.asarray(parts))
+        return np.prod(arr, dtype=arr.dtype)
     if combine == "min":
-        return np.min(np.asarray(parts))
+        return np.min(arr)
     if combine == "max":
-        return np.max(np.asarray(parts))
+        return np.max(arr)
     if combine == "any":
-        return np.any(np.asarray(parts))
+        return np.any(arr)
     if combine == "all":
-        return np.all(np.asarray(parts))
+        return np.all(arr)
     raise HorseRuntimeError(f"unknown reduction combine {combine!r}")
 
 

@@ -89,11 +89,24 @@ def _member(values, candidates):
     return np.isin(values, np.asarray(candidates))
 
 
+def _chunk_min(values):
+    """Per-chunk @min partial; None marks an empty selection (the
+    executor drops None partials and errors only when every chunk's
+    selection was empty, matching the interpreter)."""
+    return np.min(values) if len(values) else None
+
+
+def _chunk_max(values):
+    return np.max(values) if len(values) else None
+
+
 _KERNEL_GLOBALS = {
     "np": np,
     "_like": _like,
     "_startswith": _startswith,
     "_member": _member,
+    "_chunk_min": _chunk_min,
+    "_chunk_max": _chunk_max,
 }
 
 _ASTYPE = {

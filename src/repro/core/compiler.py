@@ -16,7 +16,6 @@ OpenMP analog, and reports compile time (the paper's COMP column).
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core import builtins as hb
@@ -25,11 +24,12 @@ from repro.core import types as ht
 from repro.core.codegen.cgen import CKernel, c_backend_available
 from repro.core.codegen.executor import DEFAULT_CHUNK_SIZE, run_kernel
 from repro.core.codegen.pygen import CompiledKernel, generate_kernel
+from repro.core.execpool import get_pool
 from repro.core.optimizer import OptimizeStats, optimize
 from repro.core.optimizer.fusion import (
     FusedItem, IfItem, OpaqueItem, ReturnItem, WhileItem, segment_method,
 )
-from repro.core.values import ListValue, TableValue, Value, Vector, scalar
+from repro.core.values import TableValue, Value, Vector, coerce, scalar
 from repro.core.verify import verify_module
 from repro.errors import HorseRuntimeError
 
@@ -87,18 +87,18 @@ class CompiledProgram:
             method: str | None = None,
             n_threads: int = 1,
             chunk_size: int = DEFAULT_CHUNK_SIZE) -> Value:
-        """Execute the entry method (or ``method``) and return its result."""
+        """Execute the entry method (or ``method``) and return its result.
+
+        Parallel runs borrow the process-wide :class:`ExecutorPool`
+        rather than building (and leak-prone ``shutdown(wait=False)``-ing)
+        a private pool per call — repeated executions of a prepared query
+        pay zero pool-construction cost.
+        """
         ctx = hb.EvalContext(tables)
         entry = method if method is not None else self.module.entry.name
-        pool = None
-        try:
-            if n_threads > 1:
-                pool = ThreadPoolExecutor(max_workers=n_threads)
-            state = _RunState(self, ctx, n_threads, chunk_size, pool)
-            return state.call(entry, list(args or []))
-        finally:
-            if pool is not None:
-                pool.shutdown(wait=False)
+        pool = get_pool(n_threads)
+        state = _RunState(self, ctx, n_threads, chunk_size, pool)
+        return state.call(entry, list(args or []))
 
     @property
     def kernel_sources(self) -> list[str]:
@@ -229,13 +229,10 @@ class _RunState:
             f"unknown expression {type(expr).__name__}")
 
 
-def _coerce(value: Value, type_: ht.HorseType) -> Value:
-    if type_.is_wildcard or isinstance(value, (TableValue, ListValue)):
-        return value
-    if isinstance(value, Vector) and not type_.is_list \
-            and not type_.is_table:
-        return value.astype(type_)
-    return value
+#: The cast rule is shared with the reference interpreter (the compiled
+#: path used to silently pass Table/List values through mismatched casts
+#: that naive mode rejects; both now fail identically).
+_coerce = coerce
 
 
 def compile_module(module: ir.Module, opt_level: str = "opt",

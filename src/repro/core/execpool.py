@@ -1,0 +1,137 @@
+"""Process-level shared thread pool for chunked kernel execution.
+
+Before this module existed every ``CompiledProgram.run`` built a fresh
+``ThreadPoolExecutor`` and tore it down with ``shutdown(wait=False)`` —
+repeated executions paid pool construction on the hot path and leaked
+in-flight worker threads whenever a kernel raised mid-run.  The
+:class:`ExecutorPool` owns one long-lived executor per process, lazily
+created at first parallel run, grown on demand, and shut down with
+``wait=True`` at interpreter exit (or an explicit ``close()``).
+
+All users of chunked parallelism share it: the compiled-program runtime
+(:mod:`repro.core.compiler`), the fused-kernel executor
+(:mod:`repro.core.codegen.executor`), the baseline plan executor
+(:mod:`repro.engine.executor`) and the benchmark harness.  Work is always
+submitted synchronously (``pool.map`` from the caller's thread; chunk
+functions never re-submit), so sharing cannot deadlock.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+__all__ = ["ExecutorPool", "PoolStats", "shared_pool", "get_pool",
+           "close_shared_pool"]
+
+
+@dataclass
+class PoolStats:
+    """Observability counters for a pool's lifecycle."""
+
+    acquisitions: int = 0
+    pools_created: int = 0
+    max_workers_seen: int = 0
+
+
+class ExecutorPool:
+    """A lazily-created, growable, cleanly-closed thread pool.
+
+    ``get(n_threads)`` returns a ``ThreadPoolExecutor`` with at least
+    ``n_threads`` workers, creating or growing the underlying executor as
+    needed.  The first creation sizes the pool to
+    ``max(n_threads, os.cpu_count())`` so later, larger requests rarely
+    force a re-build.  ``close(wait=True)`` joins every worker — the
+    context-manager form does the same on exit.
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        self._lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._workers = 0
+        self._cap = max_workers
+        self._closed = False
+        self.stats = PoolStats()
+
+    def get(self, n_threads: int) -> ThreadPoolExecutor:
+        """An executor with at least ``n_threads`` workers."""
+        if n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ExecutorPool is closed")
+            self.stats.acquisitions += 1
+            if self._pool is None or self._workers < n_threads:
+                want = max(n_threads, os.cpu_count() or 1)
+                if self._cap is not None:
+                    want = min(max(want, 1), max(self._cap, n_threads))
+                old = self._pool
+                self._pool = ThreadPoolExecutor(
+                    max_workers=want,
+                    thread_name_prefix="repro-exec")
+                self._workers = want
+                self.stats.pools_created += 1
+                self.stats.max_workers_seen = max(
+                    self.stats.max_workers_seen, want)
+                if old is not None:
+                    # All submission is synchronous map() from caller
+                    # threads, so nothing is in flight here; joining is
+                    # instant and leaks no threads.
+                    old.shutdown(wait=True)
+            return self._pool
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the pool down, joining workers by default."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool, self._workers = self._pool, None, 0
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "ExecutorPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(wait=True)
+
+
+_shared: ExecutorPool | None = None
+_shared_lock = threading.Lock()
+
+
+def shared_pool() -> ExecutorPool:
+    """The process-wide pool, created on first use."""
+    global _shared
+    with _shared_lock:
+        if _shared is None or _shared.closed:
+            _shared = ExecutorPool()
+            atexit.register(_shared.close)
+        return _shared
+
+
+def get_pool(n_threads: int) -> ThreadPoolExecutor | None:
+    """Convenience: a shared executor for parallel runs, or ``None``
+    when ``n_threads`` does not ask for parallelism."""
+    if n_threads <= 1:
+        return None
+    return shared_pool().get(n_threads)
+
+
+def close_shared_pool(wait: bool = True) -> None:
+    """Tear down the process-wide pool (mainly for tests)."""
+    global _shared
+    with _shared_lock:
+        pool, _shared = _shared, None
+    if pool is not None:
+        pool.close(wait=wait)

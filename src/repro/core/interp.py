@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.core import builtins as hb
 from repro.core import ir
 from repro.core import types as ht
-from repro.core.values import ListValue, TableValue, Value, Vector, scalar
+from repro.core.values import TableValue, Value, Vector, coerce, scalar
 from repro.errors import HorseRuntimeError
 
 __all__ = ["Interpreter", "run_module"]
@@ -133,22 +133,9 @@ class Interpreter:
         raise HorseRuntimeError(
             f"unknown expression {type(expr).__name__}")
 
-    @staticmethod
-    def _coerce(value: Value, type_: ht.HorseType) -> Value:
-        """Apply the declared type of an assignment / check_cast."""
-        if type_.is_wildcard:
-            return value
-        if isinstance(value, Vector) and not type_.is_list \
-                and not type_.is_table:
-            return value.astype(type_)
-        if isinstance(value, TableValue) and type_.is_table:
-            return value
-        if isinstance(value, ListValue) and type_.is_list:
-            return value
-        if isinstance(value, (TableValue, ListValue)):
-            raise HorseRuntimeError(
-                f"cannot cast {type(value).__name__} to {type_}")
-        return value
+    #: The cast rule is shared with the compiled runtime (see
+    #: :func:`repro.core.values.coerce`) so both modes fail identically.
+    _coerce = staticmethod(coerce)
 
 
 def run_module(module: ir.Module, tables: dict[str, TableValue] | None = None,

@@ -17,7 +17,7 @@ from repro.core import types as ht
 from repro.errors import HorseRuntimeError, HorseTypeError
 
 __all__ = ["Value", "Vector", "ListValue", "TableValue", "scalar",
-           "vector", "from_numpy"]
+           "vector", "from_numpy", "coerce"]
 
 
 class Value:
@@ -252,3 +252,27 @@ def from_numpy(array: np.ndarray, *, symbolic: bool = False) -> Vector:
     if array.dtype.kind in ("U", "S"):
         array = array.astype(object)
     return Vector(type_, array)
+
+
+def coerce(value: Value, type_: ht.HorseType) -> Value:
+    """Apply the declared type of an assignment / ``check_cast``.
+
+    The single cast rule shared by the reference interpreter and the
+    compiled runtime, so HorsePower-Naive and HorsePower-Opt accept and
+    reject exactly the same conversions: wildcards pass anything through,
+    vectors re-type element-wise, and a Table/List value only satisfies a
+    matching container type — anything else is a runtime cast error.
+    """
+    if type_.is_wildcard:
+        return value
+    if isinstance(value, Vector) and not type_.is_list \
+            and not type_.is_table:
+        return value.astype(type_)
+    if isinstance(value, TableValue) and type_.is_table:
+        return value
+    if isinstance(value, ListValue) and type_.is_list:
+        return value
+    if isinstance(value, (TableValue, ListValue)):
+        raise HorseRuntimeError(
+            f"cannot cast {type(value).__name__} to {type_}")
+    return value

@@ -16,12 +16,11 @@ differs — and what the benchmarks measure — is
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-
 import numpy as np
 
 from repro.core import builtins as hb
 from repro.core import types as ht
+from repro.core.execpool import get_pool
 from repro.core.values import ListValue, Vector
 from repro.engine.storage import Database
 from repro.engine.table import ColumnTable
@@ -218,8 +217,8 @@ class PlanExecutor:
                     for name, arr in columns.items()}
             return np.asarray(self._eval_serial(expr, view))
 
-        with ThreadPoolExecutor(max_workers=n_threads) as pool:
-            parts = list(pool.map(run, bounds))
+        pool = get_pool(n_threads)
+        parts = list(pool.map(run, bounds))
         return np.concatenate([np.atleast_1d(part) for part in parts])
 
     def _has_udf(self, expr: ast.Expr) -> bool:

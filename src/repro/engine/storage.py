@@ -56,6 +56,16 @@ class Database:
             catalog.add(TableSchema(table.name, table.schema()))
         return catalog
 
+    def schema_fingerprint(self) -> tuple:
+        """A hashable digest of the catalog shape — table names, column
+        names, column types — used in plan-cache keys so any schema
+        change (new/dropped table, different columns) makes previously
+        prepared plans unreachable."""
+        return tuple(sorted(
+            (name, tuple((column, str(type_))
+                         for column, type_ in table.schema()))
+            for name, table in self._tables.items()))
+
     def to_table_values(self) -> dict[str, TableValue]:
         """Zero-copy views for the HorseIR execution context."""
         return {name: table.to_table_value()

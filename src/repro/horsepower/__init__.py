@@ -8,6 +8,10 @@
 """
 
 from repro.horsepower.baseline import MonetDBLike  # noqa: F401
+from repro.horsepower.cache import (  # noqa: F401
+    CacheStats, PlanCache, PreparedQuery,
+)
 from repro.horsepower.system import CompiledQuery, HorsePowerSystem  # noqa: F401
 
-__all__ = ["HorsePowerSystem", "MonetDBLike", "CompiledQuery"]
+__all__ = ["HorsePowerSystem", "MonetDBLike", "CompiledQuery",
+           "PreparedQuery", "PlanCache", "CacheStats"]

@@ -1,0 +1,177 @@
+"""Prepared-query support: the plan/compilation cache.
+
+The paper's headline economics are "pay COMP once, run the optimized
+kernels many times" — but ``HorsePowerSystem.run_sql`` used to re-parse,
+re-plan, re-optimize and re-generate kernels on every call.  This module
+amortizes that cost across calls, the way HADAD-style systems reuse
+previously computed work across hybrid analytics pipelines:
+
+* :class:`PlanCache` — a thread-safe LRU of compiled queries keyed on
+  ``(normalized SQL, opt level, backend, catalog fingerprint,
+  UDF-registry fingerprint)``.  Because both fingerprints are part of the
+  key, registering a UDF or changing the schema makes stale entries
+  unreachable; registration additionally clears the cache eagerly.
+* :class:`PreparedQuery` — one prepare's outcome: the compiled query plus
+  whether this prepare was served from cache (warm) or compiled (cold).
+* :class:`CacheStats` — hit/miss/eviction/invalidation counters, surfaced
+  by the CLI (``run-sql --cache-stats``) and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.horsepower.system import CompiledQuery
+
+__all__ = ["CacheStats", "PlanCache", "PreparedQuery", "normalize_sql",
+           "DEFAULT_PLAN_CACHE_SIZE"]
+
+#: Default number of prepared queries retained per system.
+DEFAULT_PLAN_CACHE_SIZE = 64
+
+def normalize_sql(sql: str) -> str:
+    """Whitespace-insensitive form of a query used as the cache key.
+
+    Deliberately conservative: runs of whitespace *outside string
+    literals* collapse to one space and trailing semicolons drop, but
+    case and literal contents are preserved — two texts only share a key
+    when the parser provably sees the same token stream.  Whitespace
+    inside ``'...'`` literals is significant and kept verbatim
+    (collapsing it would alias genuinely different queries onto one
+    cache entry).
+    """
+    out: list[str] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            j = i + 1
+            while j < n:
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":  # escaped ''
+                        j += 2
+                        continue
+                    break
+                j += 1
+            out.append(sql[i:min(j + 1, n)])
+            i = j + 1
+        elif ch.isspace():
+            while i < n and sql[i].isspace():
+                i += 1
+            out.append(" ")
+        else:
+            out.append(ch)
+            i += 1
+    text = "".join(out).strip()
+    while text.endswith(";"):
+        text = text[:-1].rstrip()
+    return text
+
+
+@dataclass
+class CacheStats:
+    """Observability counters (the cache analog of ``CompileReport``)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> str:
+        return (f"hits={self.hits} misses={self.misses} "
+                f"evictions={self.evictions} "
+                f"invalidations={self.invalidations} "
+                f"hit_rate={self.hit_rate:.1%}")
+
+
+class PlanCache:
+    """Thread-safe LRU cache of compiled queries."""
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_SIZE):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got "
+                             f"{capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, "CompiledQuery"] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    @staticmethod
+    def key(sql: str, opt_level: str, backend: str,
+            catalog_fingerprint: tuple,
+            udf_fingerprint: tuple) -> tuple:
+        return (normalize_sql(sql), opt_level, backend,
+                catalog_fingerprint, udf_fingerprint)
+
+    def lookup(self, key: tuple) -> "CompiledQuery | None":
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def insert(self, key: tuple, compiled: "CompiledQuery") -> None:
+        with self._lock:
+            self._entries[key] = compiled
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry (UDF registration, explicit reset)."""
+        with self._lock:
+            if self._entries:
+                self._entries.clear()
+                self.stats.invalidations += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._entries
+
+
+@dataclass
+class PreparedQuery:
+    """The result of ``HorsePowerSystem.prepare``: a compiled query plus
+    cache provenance.  ``cached`` is True when this prepare skipped
+    parse→plan→optimize→codegen entirely (a warm hit)."""
+
+    query: "CompiledQuery"
+    cached: bool
+    key: tuple = field(repr=False, default=())
+
+    def run(self, n_threads: int = 1, **kwargs):
+        return self.query.run(n_threads=n_threads, **kwargs)
+
+    @property
+    def sql(self) -> str:
+        return self.query.sql
+
+    @property
+    def compile_seconds(self) -> float:
+        """Cold compile cost (paid once; zero marginal cost when
+        ``cached``)."""
+        return self.query.compile_seconds
+
+    @property
+    def program(self):
+        return self.query.program

@@ -58,12 +58,29 @@ class TableUDFDef:
 @dataclass
 class UDFRegistry:
     _udfs: dict[str, object] = field(default_factory=dict)
+    #: bumped on every registration; part of the plan-cache key so a
+    #: prepared query compiled before a UDF existed can never be reused
+    #: after registration changes what the planner would produce.
+    _version: int = 0
 
     def register(self, udf) -> None:
         key = udf.name.lower()
         if key in self._udfs:
             raise UDFError(f"UDF {udf.name!r} is already registered")
         self._udfs[key] = udf
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def fingerprint(self) -> tuple:
+        """A hashable digest of the registry's contents, for plan-cache
+        keys: registration version plus the declared signatures."""
+        signatures = tuple(sorted(
+            (name, udf.kind, tuple(str(t) for t in udf.param_types))
+            for name, udf in self._udfs.items()))
+        return (self._version, signatures)
 
     def get(self, name: str):
         udf = self._udfs.get(name.lower())

@@ -1,0 +1,152 @@
+"""Prepared-query cache: hits, misses, invalidation, LRU eviction."""
+
+import numpy as np
+import pytest
+
+from repro.core import types as ht
+from repro.engine.storage import Database
+from repro.horsepower import HorsePowerSystem
+from repro.horsepower.cache import PlanCache, normalize_sql
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("t", {
+        "x": np.arange(100, dtype=np.float64),
+        "y": np.arange(100, dtype=np.float64) * 2.0,
+    })
+    return database
+
+
+@pytest.fixture
+def hp(db):
+    return HorsePowerSystem(db)
+
+
+class TestHitMiss:
+    def test_first_run_misses_second_hits(self, hp):
+        sql = "SELECT SUM(x) AS s FROM t"
+        r1 = hp.run_sql(sql)
+        assert hp.cache_stats.misses == 1 and hp.cache_stats.hits == 0
+        r2 = hp.run_sql(sql)
+        assert hp.cache_stats.hits == 1
+        assert len(hp.plan_cache) == 1
+        np.testing.assert_array_equal(r1.column("s").data,
+                                      r2.column("s").data)
+
+    def test_prepare_reports_cache_provenance(self, hp):
+        sql = "SELECT SUM(y) AS s FROM t"
+        cold = hp.prepare(sql)
+        warm = hp.prepare(sql)
+        assert not cold.cached and warm.cached
+        assert warm.query is cold.query  # the same compiled plan object
+        assert warm.compile_seconds == cold.compile_seconds
+
+    def test_warm_call_does_zero_compile_work(self, hp, monkeypatch):
+        sql = "SELECT SUM(x * y) AS s FROM t WHERE x > 3"
+        hp.run_sql(sql)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("warm call re-compiled")
+
+        import repro.horsepower.system as system_mod
+        monkeypatch.setattr(system_mod, "compile_module", boom)
+        monkeypatch.setattr(system_mod, "parse_sql", boom)
+        result = hp.run_sql(sql)
+        assert result.num_rows == 1
+
+    def test_whitespace_variants_share_an_entry(self, hp):
+        hp.run_sql("SELECT SUM(x) AS s FROM t")
+        hp.run_sql("  SELECT   SUM(x)  AS s\n FROM t ;")
+        assert hp.cache_stats.hits == 1
+        assert len(hp.plan_cache) == 1
+
+    def test_distinct_opt_levels_are_distinct_entries(self, hp):
+        sql = "SELECT SUM(x) AS s FROM t"
+        hp.run_sql(sql, opt_level="opt")
+        hp.run_sql(sql, opt_level="naive")
+        assert hp.cache_stats.misses == 2
+        assert len(hp.plan_cache) == 2
+
+    def test_no_cache_bypasses_lookup_and_insert(self, hp):
+        sql = "SELECT SUM(x) AS s FROM t"
+        hp.run_sql(sql, use_cache=False)
+        hp.run_sql(sql, use_cache=False)
+        assert hp.cache_stats.lookups == 0
+        assert len(hp.plan_cache) == 0
+
+
+class TestInvalidation:
+    def test_udf_registration_clears_the_cache(self, hp):
+        sql = "SELECT SUM(x) AS s FROM t"
+        hp.run_sql(sql)
+        assert len(hp.plan_cache) == 1
+        hp.register_scalar_udf(
+            "double_it", "function y = double_it(x)\n  y = x .* 2;\nend",
+            [ht.F64])
+        assert len(hp.plan_cache) == 0
+        assert hp.cache_stats.invalidations == 1
+        # And the re-run misses (fresh compile under the new registry).
+        hp.run_sql(sql)
+        assert hp.cache_stats.misses == 2
+
+    def test_udf_fingerprint_rotates_the_key(self, hp):
+        # Even without the eager clear, a registration changes the key:
+        # the old entry would be unreachable.
+        sql = "SELECT SUM(x) AS s FROM t"
+        key_before = hp.plan_cache.key(
+            sql, "opt", "python", hp.db.schema_fingerprint(),
+            hp.udfs.fingerprint())
+        hp.register_scalar_udf(
+            "triple_it", "function y = triple_it(x)\n  y = x .* 3;\nend",
+            [ht.F64])
+        key_after = hp.plan_cache.key(
+            sql, "opt", "python", hp.db.schema_fingerprint(),
+            hp.udfs.fingerprint())
+        assert key_before != key_after
+
+    def test_schema_change_rotates_the_key(self, hp, db):
+        sql = "SELECT SUM(x) AS s FROM t"
+        hp.run_sql(sql)
+        db.create_table("u", {"z": np.arange(5, dtype=np.float64)})
+        hp.run_sql(sql)
+        # Same SQL, but the catalog fingerprint changed: a miss, not a
+        # stale hit.
+        assert hp.cache_stats.misses == 2
+        db.drop_table("u")
+        hp.run_sql(sql)
+        assert hp.cache_stats.hits == 1  # fingerprint restored
+
+
+class TestLRUEviction:
+    def test_capacity_evicts_least_recently_used(self, db):
+        hp = HorsePowerSystem(db, plan_cache_size=2)
+        q1 = "SELECT SUM(x) AS s FROM t"
+        q2 = "SELECT SUM(y) AS s FROM t"
+        q3 = "SELECT COUNT(*) AS n FROM t"
+        hp.run_sql(q1)
+        hp.run_sql(q2)
+        hp.run_sql(q1)          # refresh q1: q2 becomes LRU
+        hp.run_sql(q3)          # evicts q2
+        assert hp.cache_stats.evictions == 1
+        assert len(hp.plan_cache) == 2
+        hp.run_sql(q1)
+        assert hp.cache_stats.hits == 2   # q1 still cached
+        hp.run_sql(q2)
+        assert hp.cache_stats.misses == 4  # q2 was evicted
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(0)
+
+
+class TestNormalizeSql:
+    def test_collapses_whitespace_and_trailing_semicolon(self):
+        assert normalize_sql("  SELECT  1\n\t; ") == "SELECT 1"
+
+    def test_preserves_case_and_literals(self):
+        assert normalize_sql("SELECT 'a  b' FROM T") \
+            == "SELECT 'a  b' FROM T"
+        # Conservative by design: case differences do NOT share a key.
+        assert normalize_sql("select 1") != normalize_sql("SELECT 1")

@@ -73,6 +73,26 @@ def test_gen_tpch(tmp_path, capsys):
     assert (out_dir / "region.tbl").exists()
 
 
+def test_run_sql_repeat_hits_plan_cache(csv_table, capsys):
+    code = main(["run-sql", "--repeat", "3", "--cache-stats",
+                 "--table", f"t={csv_table}@x:f64,label:str",
+                 "SELECT SUM(x) AS s FROM t"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "6.0" in out
+    assert "plan cache: hits=2 misses=1" in out
+
+
+def test_run_sql_no_cache_bypasses_plan_cache(csv_table, capsys):
+    code = main(["run-sql", "--repeat", "2", "--no-cache",
+                 "--cache-stats",
+                 "--table", f"t={csv_table}@x:f64,label:str",
+                 "SELECT SUM(x) AS s FROM t"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "plan cache: hits=0 misses=0" in out
+
+
 def test_bad_schema_type_message(csv_table):
     with pytest.raises(SystemExit, match="unknown column type"):
         main(["run-sql", "--table", f"t={csv_table}@x:quaternion",

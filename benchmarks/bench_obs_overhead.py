@@ -1,0 +1,91 @@
+"""Micro-benchmark: the cost of *disabled* tracing on TPC-H Q6.
+
+Tracing is off by default and must stay near free: every
+instrumentation site costs one ``get_tracer()`` read plus one no-op
+``span()`` call when disabled.  This benchmark bounds that cost on the
+paper's Q6:
+
+1. median warm Q6 runtime with the default :data:`NULL_TRACER`;
+2. the number of span sites one Q6 run passes through (counted by
+   running once under a real tracer);
+3. the measured per-site cost of a disabled span (tight loop).
+
+``overhead = sites x per-site cost / runtime`` — the acceptance bar is
+**<2%**.  For reference it also reports the *enabled* tracing runtime,
+which is allowed to be slower (it allocates and timestamps real spans).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
+Exits non-zero if the disabled overhead exceeds the 2% bar.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+from benchmarks.harness import make_tpch_systems, time_callable  # noqa: E402
+from repro.obs import NULL_TRACER, Tracer, use_tracer  # noqa: E402
+from repro.workloads.tpch_queries import PLAIN_QUERIES  # noqa: E402
+
+OVERHEAD_BAR = 0.02
+_NULL_SPAN_LOOPS = 200_000
+
+
+def measure_null_span_cost(loops: int = _NULL_SPAN_LOOPS) -> float:
+    """Seconds per disabled instrumentation site (span enter+exit)."""
+    span = NULL_TRACER.span  # the bound method a hot site pays for
+    start = time.perf_counter()
+    for _ in range(loops):
+        with span("x"):
+            pass
+    return (time.perf_counter() - start) / loops
+
+
+def count_spans_per_run(hp, sql: str) -> int:
+    """Span sites one warm Q6 run passes through."""
+    tracer = Tracer()
+    with use_tracer(tracer):
+        hp.run_sql(sql)
+    return len(tracer.all_spans())
+
+
+def main() -> int:
+    hp, _ = make_tpch_systems()
+    sql = PLAIN_QUERIES["q6"]
+    hp.run_sql(sql)  # compile + cache: measurements below are warm
+
+    disabled = time_callable(lambda: hp.run_sql(sql), warmup=2,
+                             rounds=7)
+    site_cost = measure_null_span_cost()
+    sites = count_spans_per_run(hp, sql)
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        enabled = time_callable(lambda: hp.run_sql(sql), warmup=2,
+                                rounds=7)
+
+    overhead = sites * site_cost / disabled.seconds
+    print("# Disabled-tracer overhead on TPC-H Q6 (warm, cached plan)")
+    print(f"warm Q6 runtime (tracing off) : {disabled.millis:9.3f} ms")
+    print(f"warm Q6 runtime (tracing on)  : {enabled.millis:9.3f} ms")
+    print(f"span sites per run            : {sites:9d}")
+    print(f"cost per disabled site        : {site_cost * 1e9:9.1f} ns")
+    print(f"disabled overhead             : {overhead:9.4%} "
+          f"(bar: <{OVERHEAD_BAR:.0%})")
+    if overhead >= OVERHEAD_BAR:
+        print("FAIL: disabled tracing is not near-free")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,11 +31,48 @@ from repro.workloads.tpch_queries import register_tpch_udfs
 
 __all__ = ["bench_scale", "thread_counts", "make_tpch_systems",
            "make_bs_systems", "time_callable", "Timed",
-           "time_cold_warm", "ColdWarm"]
+           "time_cold_warm", "ColdWarm", "trace_dir",
+           "install_bench_tracer", "dump_bench_trace"]
 
 
 def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def trace_dir() -> str | None:
+    """When ``REPRO_BENCH_TRACE`` names a directory, every benchmark run
+    records spans and the tables dump one Chrome trace per section."""
+    return os.environ.get("REPRO_BENCH_TRACE") or None
+
+
+def install_bench_tracer():
+    """Attach a tracer for the whole benchmark process when the
+    ``REPRO_BENCH_TRACE`` directory flag is set; returns it (or None)."""
+    directory = trace_dir()
+    if directory is None:
+        return None
+    from repro.obs import Tracer, set_tracer
+    os.makedirs(directory, exist_ok=True)
+    tracer = Tracer()
+    set_tracer(tracer)
+    return tracer
+
+
+def dump_bench_trace(name: str) -> str | None:
+    """Write the spans recorded since the last dump to
+    ``$REPRO_BENCH_TRACE/<name>.trace.json`` and clear the tracer."""
+    directory = trace_dir()
+    if directory is None:
+        return None
+    from repro.obs import chrome_trace_json, get_tracer
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return None
+    path = os.path.join(directory, f"{name}.trace.json")
+    with open(path, "w") as handle:
+        handle.write(chrome_trace_json(tracer.roots))
+    tracer.reset()
+    return path
 
 
 def _default_threads() -> str:
@@ -123,10 +160,16 @@ class ColdWarm:
     """
 
     def __init__(self, cold_seconds: float, warm_seconds: float,
-                 compile_seconds: float):
+                 compile_seconds: float,
+                 optimize_seconds: float = 0.0,
+                 codegen_seconds: float = 0.0):
         self.cold_seconds = cold_seconds
         self.warm_seconds = warm_seconds
         self.compile_seconds = compile_seconds
+        #: The per-phase decomposition of ``compile_seconds`` (COMP =
+        #: optimize + codegen; see ``CompileReport``).
+        self.optimize_seconds = optimize_seconds
+        self.codegen_seconds = codegen_seconds
 
     @property
     def speedup(self) -> float:
@@ -151,4 +194,7 @@ def time_cold_warm(system: HorsePowerSystem, sql: str, *,
     warm = time_callable(
         lambda: system.run_sql(sql, n_threads=n_threads),
         warmup=1, rounds=warm_rounds)
-    return ColdWarm(cold, warm.seconds, prepared.compile_seconds)
+    report = prepared.program.report
+    return ColdWarm(cold, warm.seconds, prepared.compile_seconds,
+                    optimize_seconds=report.optimize_seconds,
+                    codegen_seconds=report.codegen_seconds)

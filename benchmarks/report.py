@@ -37,6 +37,15 @@ def _parse_args(argv):
                         help="which tables to run (e.g. 1,4,cache; "
                              "'cache' is the prepared-query cold/warm "
                              "table)")
+    parser.add_argument("--metrics-json", type=str, default=None,
+                        help="write the process-global metrics "
+                             "(kernels, rows, pool, plan cache, "
+                             "per-phase compile totals) as flat JSON "
+                             "after the run")
+    parser.add_argument("--trace-dir", type=str, default=None,
+                        help="record spans for every benchmark run and "
+                             "write one Chrome-trace JSON per table "
+                             "into this directory")
     return parser.parse_args(argv)
 
 
@@ -44,10 +53,14 @@ def main(argv=None) -> int:
     args = _parse_args(argv if argv is not None else sys.argv[1:])
     os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
     os.environ["REPRO_BENCH_THREADS"] = args.threads
+    if args.trace_dir:
+        os.environ["REPRO_BENCH_TRACE"] = args.trace_dir
 
     # Import after the env is set: the harness reads it at call time.
     from benchmarks import tables
+    from benchmarks.harness import dump_bench_trace, install_bench_tracer
 
+    install_bench_tracer()
     wanted = {part.strip() for part in args.tables.split(",")}
     buffer = io.StringIO()
 
@@ -58,16 +71,26 @@ def main(argv=None) -> int:
     emit(f"# HorsePower reproduction report "
          f"(scale={args.scale}, threads={args.threads})")
     emit()
-    if "1" in wanted:
-        tables.report_table1(emit)
-    if "2" in wanted:
-        tables.report_table2(emit)
-    if "3" in wanted:
-        tables.report_table3(emit)
-    if "4" in wanted:
-        tables.report_table4(emit)
-    if "cache" in wanted:
-        tables.report_plan_cache(emit)
+    sections = (("1", "table1", tables.report_table1),
+                ("2", "table2", tables.report_table2),
+                ("3", "table3", tables.report_table3),
+                ("4", "table4", tables.report_table4),
+                ("cache", "plan_cache", tables.report_plan_cache))
+    for key, name, report_fn in sections:
+        if key in wanted:
+            report_fn(emit)
+            path = dump_bench_trace(name)
+            if path:
+                emit(f"(trace written to {path})")
+
+    if args.metrics_json:
+        import json
+
+        from repro.obs import global_metrics
+        with open(args.metrics_json, "w") as handle:
+            json.dump({"metrics": global_metrics().snapshot()}, handle,
+                      indent=2, default=str)
+        emit(f"(metrics written to {args.metrics_json})")
 
     if args.out:
         with open(args.out, "w") as handle:

@@ -79,21 +79,71 @@ def _cmd_run_sql(args) -> int:
     db = _load_tables(args)
     sql = args.query if args.query else sys.stdin.read()
     repeat = max(1, args.repeat)
-    if args.system == "monetdb":
-        mdb = MonetDBLike(db)
-        for _ in range(repeat):
-            result = mdb.run_sql(sql, n_threads=args.threads)
-    else:
-        hp = HorsePowerSystem(db)
-        use_cache = not args.no_cache
-        for _ in range(repeat):
-            result = hp.run_sql(sql, n_threads=args.threads,
-                                use_cache=use_cache)
-        if args.cache_stats:
-            print(f"-- plan cache: {hp.cache_stats.summary()} "
-                  f"entries={len(hp.plan_cache)}")
+
+    tracing = bool(args.trace or args.explain_analyze)
+    tracer = None
+    if tracing:
+        from repro.obs import Tracer, set_tracer
+        tracer = Tracer()
+        set_tracer(tracer)
+
+    hp = None
+    try:
+        if args.system == "monetdb":
+            mdb = MonetDBLike(db)
+            for _ in range(repeat):
+                result = mdb.run_sql(sql, n_threads=args.threads)
+        else:
+            hp = HorsePowerSystem(db)
+            use_cache = not args.no_cache
+            for _ in range(repeat):
+                result = hp.run_sql(sql, n_threads=args.threads,
+                                    use_cache=use_cache)
+            if args.cache_stats:
+                print(f"-- plan cache: {hp.cache_stats.summary()} "
+                      f"entries={len(hp.plan_cache)}")
+    finally:
+        if tracing:
+            from repro.obs import set_tracer
+            set_tracer(None)
+
     _print_table(result, args.limit)
+    if tracer is not None:
+        _emit_trace_outputs(args, tracer)
+    if args.metrics_json:
+        _write_metrics_json(args.metrics_json, hp)
     return 0
+
+
+def _emit_trace_outputs(args, tracer) -> None:
+    """Print/write the trace artifacts ``run-sql`` was asked for."""
+    from repro.obs import chrome_trace_json, render_explain_analyze
+
+    if args.explain_analyze:
+        root = tracer.last_root()
+        if root is not None:
+            # The last root is the final repeat: warm (cache-served)
+            # when --repeat > 1, the full cold chain otherwise.
+            print("-- EXPLAIN ANALYZE " + "-" * 44)
+            print(render_explain_analyze(root))
+    if args.trace:
+        with open(args.trace, "w") as handle:
+            handle.write(chrome_trace_json(tracer.roots, indent=2))
+        print(f"-- chrome trace written to {args.trace} "
+              f"(open in chrome://tracing or https://ui.perfetto.dev)")
+
+
+def _write_metrics_json(path: str, hp=None) -> None:
+    """Dump the process-global metrics (plus per-entry plan-cache stats
+    when the HorsePower system ran) as flat JSON."""
+    from repro.obs import global_metrics
+
+    payload = {"metrics": global_metrics().snapshot()}
+    if hp is not None:
+        payload["plan_cache"] = hp.cache_stats.to_dict()
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+    print(f"-- metrics written to {path}")
 
 
 def _cmd_compile_sql(args) -> int:
@@ -177,6 +227,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_sql.add_argument("--cache-stats", action="store_true",
                          help="print plan-cache hit/miss/eviction "
                               "counters (horsepower system only)")
+    run_sql.add_argument("--trace", nargs="?", const="trace.json",
+                         metavar="PATH",
+                         help="record spans and write a Chrome-trace "
+                              "JSON (default trace.json; open in "
+                              "chrome://tracing or Perfetto)")
+    run_sql.add_argument("--explain-analyze", action="store_true",
+                         help="print the traced span tree (per-phase "
+                              "and per-kernel times, row counts) after "
+                              "the result")
+    run_sql.add_argument("--metrics-json", metavar="PATH",
+                         help="write runtime metrics (plan cache, pool, "
+                              "kernels, rows) as flat JSON")
     run_sql.set_defaults(fn=_cmd_run_sql)
 
     compile_sql = commands.add_parser(

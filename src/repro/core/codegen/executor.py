@@ -10,6 +10,7 @@ the builtin's ``combine`` rule.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -19,6 +20,7 @@ from repro.core.codegen.pygen import CompiledKernel
 from repro.core.execpool import get_pool
 from repro.core.values import Vector
 from repro.errors import BuiltinError, HorseRuntimeError
+from repro.obs import get_tracer, global_metrics
 
 __all__ = ["run_kernel", "DEFAULT_CHUNK_SIZE"]
 
@@ -27,6 +29,12 @@ __all__ = ["run_kernel", "DEFAULT_CHUNK_SIZE"]
 #: kernel; see EXPERIMENTS.md).
 DEFAULT_CHUNK_SIZE = 1 << 15
 
+_METRIC_INVOCATIONS = global_metrics().counter("kernel.invocations")
+_METRIC_CHUNKS = global_metrics().counter("kernel.chunks")
+_METRIC_ROWS_IN = global_metrics().counter("kernel.rows_in")
+_METRIC_ROWS_OUT = global_metrics().counter("kernel.rows_out")
+_METRIC_SECONDS = global_metrics().histogram("kernel.seconds")
+
 
 def run_kernel(kernel: CompiledKernel, inputs: list[Vector],
                n_threads: int = 1,
@@ -34,6 +42,18 @@ def run_kernel(kernel: CompiledKernel, inputs: list[Vector],
                pool: ThreadPoolExecutor | None = None) -> list[Vector]:
     """Execute a fused kernel over its inputs; returns the output vectors
     in the order of ``kernel.outputs``."""
+    start = time.perf_counter()
+    outputs = _run_kernel(kernel, inputs, n_threads, chunk_size, pool)
+    _METRIC_INVOCATIONS.inc()
+    _METRIC_SECONDS.observe(time.perf_counter() - start)
+    _METRIC_ROWS_IN.inc(max((len(v) for v in inputs), default=0))
+    _METRIC_ROWS_OUT.inc(max((len(v) for v in outputs), default=0))
+    return outputs
+
+
+def _run_kernel(kernel: CompiledKernel, inputs: list[Vector],
+                n_threads: int, chunk_size: int,
+                pool: ThreadPoolExecutor | None) -> list[Vector]:
     arrays = [value.data for value in inputs]
     n = _base_length(kernel, arrays)
 
@@ -50,12 +70,22 @@ def run_kernel(kernel: CompiledKernel, inputs: list[Vector],
 
     bounds = [(lo, min(lo + chunk_size, n))
               for lo in range(0, n, chunk_size)]
+    _METRIC_CHUNKS.inc(len(bounds))
+
+    tracer = get_tracer()
+    #: Worker threads start with an empty context, so chunk spans anchor
+    #: to the kernel span captured here rather than via the contextvar.
+    parent = tracer.current() if tracer.enabled else None
 
     def run_chunk(bound: tuple[int, int]):
         lo, hi = bound
         sliced = [arr[lo:hi] if stream and len(arr) == n else arr
                   for arr, stream in zip(arrays, kernel.streamed)]
-        return kernel.fn(*sliced)
+        if not tracer.enabled:
+            return kernel.fn(*sliced)
+        with tracer.span("chunk", parent=parent, lo=lo, hi=hi,
+                         rows=hi - lo):
+            return kernel.fn(*sliced)
 
     if n_threads > 1 and len(bounds) > 1:
         if pool is None:

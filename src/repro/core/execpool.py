@@ -19,13 +19,35 @@ functions never re-submit), so sharing cannot deadlock.
 from __future__ import annotations
 
 import atexit
+import logging
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-__all__ = ["ExecutorPool", "PoolStats", "shared_pool", "get_pool",
-           "close_shared_pool"]
+from repro.obs import global_metrics
+
+__all__ = ["ExecutorPool", "PoolStats", "InstrumentedExecutor",
+           "shared_pool", "get_pool", "close_shared_pool"]
+
+_log = logging.getLogger("repro.obs.execpool")
+
+_METRIC_POOL_SIZE = global_metrics().gauge("pool.size")
+_METRIC_PEAK_TASKS = global_metrics().gauge("pool.peak_concurrent_tasks")
+_METRIC_SUBMITTED = global_metrics().counter("pool.tasks_submitted")
+_METRIC_COMPLETED = global_metrics().counter("pool.tasks_completed")
+_METRIC_TASK_SECONDS = global_metrics().counter(
+    "pool.task_seconds_total")
+_METRIC_WAIT_WARNINGS = global_metrics().counter("pool.wait_warnings")
+
+#: A task waiting longer than this for a worker indicates pool
+#: starvation; logged (once per process) as a warning.
+_WAIT_WARN_SECONDS = 0.1
+
+_wait_warned = False
+_concurrency_lock = threading.Lock()
+_concurrent_tasks = 0
 
 
 @dataclass
@@ -35,6 +57,65 @@ class PoolStats:
     acquisitions: int = 0
     pools_created: int = 0
     max_workers_seen: int = 0
+
+
+class InstrumentedExecutor:
+    """A thin ``ThreadPoolExecutor`` wrapper reporting per-task metrics.
+
+    Tracks tasks submitted/completed, total task wall time, and the peak
+    number of concurrently executing tasks in the process-global
+    :class:`~repro.obs.MetricsRegistry`, and warns (once per process)
+    when a task waited more than 100 ms for a free worker — the signal
+    that the shared pool is undersized for the load.  Everything else
+    (``shutdown``, ``_shutdown`` introspection, ...) delegates to the
+    wrapped executor.
+    """
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, inner: ThreadPoolExecutor):
+        self._inner = inner
+
+    def _wrap(self, fn, submitted_at: float):
+        def task(*args, **kwargs):
+            global _concurrent_tasks, _wait_warned
+            start = time.perf_counter()
+            wait = start - submitted_at
+            if wait > _WAIT_WARN_SECONDS:
+                _METRIC_WAIT_WARNINGS.inc()
+                if not _wait_warned:
+                    _wait_warned = True
+                    _log.warning(
+                        "executor-pool task waited %.0f ms for a worker "
+                        "(pool size %d); the shared pool is saturated "
+                        "(warning logged once per process)",
+                        wait * 1000.0, _METRIC_POOL_SIZE.value)
+            with _concurrency_lock:
+                _concurrent_tasks += 1
+                _METRIC_PEAK_TASKS.set_max(_concurrent_tasks)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                with _concurrency_lock:
+                    _concurrent_tasks -= 1
+                _METRIC_COMPLETED.inc()
+                _METRIC_TASK_SECONDS.inc(time.perf_counter() - start)
+        return task
+
+    def map(self, fn, *iterables, **kwargs):
+        iterables = [list(iterable) for iterable in iterables]
+        _METRIC_SUBMITTED.inc(min((len(it) for it in iterables),
+                                  default=0))
+        return self._inner.map(self._wrap(fn, time.perf_counter()),
+                               *iterables, **kwargs)
+
+    def submit(self, fn, *args, **kwargs):
+        _METRIC_SUBMITTED.inc()
+        return self._inner.submit(self._wrap(fn, time.perf_counter()),
+                                  *args, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
 
 
 class ExecutorPool:
@@ -51,12 +132,13 @@ class ExecutorPool:
     def __init__(self, max_workers: int | None = None):
         self._lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
+        self._proxy: InstrumentedExecutor | None = None
         self._workers = 0
         self._cap = max_workers
         self._closed = False
         self.stats = PoolStats()
 
-    def get(self, n_threads: int) -> ThreadPoolExecutor:
+    def get(self, n_threads: int) -> InstrumentedExecutor:
         """An executor with at least ``n_threads`` workers."""
         if n_threads < 1:
             raise ValueError(f"n_threads must be >= 1, got {n_threads}")
@@ -72,16 +154,18 @@ class ExecutorPool:
                 self._pool = ThreadPoolExecutor(
                     max_workers=want,
                     thread_name_prefix="repro-exec")
+                self._proxy = InstrumentedExecutor(self._pool)
                 self._workers = want
                 self.stats.pools_created += 1
                 self.stats.max_workers_seen = max(
                     self.stats.max_workers_seen, want)
+                _METRIC_POOL_SIZE.set(want)
                 if old is not None:
                     # All submission is synchronous map() from caller
                     # threads, so nothing is in flight here; joining is
                     # instant and leaks no threads.
                     old.shutdown(wait=True)
-            return self._pool
+            return self._proxy
 
     @property
     def workers(self) -> int:
@@ -96,6 +180,7 @@ class ExecutorPool:
         with self._lock:
             self._closed = True
             pool, self._pool, self._workers = self._pool, None, 0
+            self._proxy = None
         if pool is not None:
             pool.shutdown(wait=wait)
 
@@ -120,7 +205,7 @@ def shared_pool() -> ExecutorPool:
         return _shared
 
 
-def get_pool(n_threads: int) -> ThreadPoolExecutor | None:
+def get_pool(n_threads: int) -> InstrumentedExecutor | None:
     """Convenience: a shared executor for parallel runs, or ``None``
     when ``n_threads`` does not ask for parallelism."""
     if n_threads <= 1:

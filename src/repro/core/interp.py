@@ -15,8 +15,12 @@ from repro.core import ir
 from repro.core import types as ht
 from repro.core.values import TableValue, Value, Vector, coerce, scalar
 from repro.errors import HorseRuntimeError
+from repro.obs import get_tracer, global_metrics
 
 __all__ = ["Interpreter", "run_module"]
+
+_METRIC_RUNS = global_metrics().counter("interp.runs")
+_METRIC_MATERIALIZED = global_metrics().counter("interp.materialized")
 
 _MAX_LOOP_ITERATIONS = 100_000_000
 
@@ -52,7 +56,23 @@ class Interpreter:
                 raise HorseRuntimeError(
                     f"module {self.module.name!r} has no method "
                     f"{method_name!r}") from None
-        return self._call(method, list(args or []))
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._traced_call(method, args, None)
+        with tracer.span("interpret", method=method.name,
+                         module=self.module.name) as span:
+            return self._traced_call(method, args, span)
+
+    def _traced_call(self, method: ir.Method, args, span) -> Value:
+        before = self.materialized
+        try:
+            return self._call(method, list(args or []))
+        finally:
+            materialized = self.materialized - before
+            _METRIC_RUNS.inc()
+            _METRIC_MATERIALIZED.inc(materialized)
+            if span is not None:
+                span.set(materialized=materialized)
 
     # -- internals ----------------------------------------------------------
 

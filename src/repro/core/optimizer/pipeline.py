@@ -20,6 +20,7 @@ from repro.core.optimizer.dce import eliminate_dead_code
 from repro.core.optimizer.inline import inline_methods
 from repro.core.optimizer.patterns import (apply_patterns,
                                             forward_list_items)
+from repro.obs import get_tracer
 
 __all__ = ["optimize", "OptimizeStats"]
 
@@ -36,14 +37,26 @@ class OptimizeStats:
     elapsed_seconds: float = 0.0
 
 
+#: The rewrite passes of the fixed-point loop, in the paper's order.
+_ROUND_PASSES = (
+    ("list-forwarding", forward_list_items),
+    ("constprop", propagate_constants),
+    ("copyprop", propagate_copies),
+    ("cse", eliminate_common_subexpressions),
+    ("dce", eliminate_dead_code),
+)
+
+
 def optimize(module: ir.Module, *, entry: str | None = None,
              enable_patterns: bool = True) -> tuple[ir.Module, OptimizeStats]:
     """Optimize ``module``; returns a new module and pass statistics."""
     stats = OptimizeStats()
+    tracer = get_tracer()
     start = time.perf_counter()
 
     before = len(module.methods)
-    module = inline_methods(module, entry=entry)
+    with tracer.span("pass:inline", methods_before=before):
+        module = inline_methods(module, entry=entry)
     stats.inlined_methods_removed = before - len(module.methods)
     if stats.inlined_methods_removed:
         stats.passes_applied.append("inline")
@@ -51,35 +64,58 @@ def optimize(module: ir.Module, *, entry: str | None = None,
     for round_index in range(_MAX_ROUNDS):
         changed = False
         for method in module.methods.values():
-            if forward_list_items(method):
-                changed = True
-                _note(stats, "list-forwarding")
-            if propagate_constants(method):
-                changed = True
-                _note(stats, "constprop")
-            if propagate_copies(method):
-                changed = True
-                _note(stats, "copyprop")
-            if eliminate_common_subexpressions(method):
-                changed = True
-                _note(stats, "cse")
-            if eliminate_dead_code(method):
-                changed = True
-                _note(stats, "dce")
+            for name, pass_fn in _ROUND_PASSES:
+                if _run_pass(stats, tracer, name, pass_fn, method,
+                             round_index):
+                    changed = True
         stats.rounds = round_index + 1
         if not changed:
             break
 
     if enable_patterns:
         for method in module.methods.values():
-            if apply_patterns(method):
-                _note(stats, "patterns")
+            _run_pass(stats, tracer, "patterns", apply_patterns, method)
         # Pattern rewrites can orphan mask definitions; sweep once more.
         for method in module.methods.values():
             eliminate_dead_code(method)
 
     stats.elapsed_seconds = time.perf_counter() - start
     return module, stats
+
+
+def _run_pass(stats: OptimizeStats, tracer, name: str, pass_fn,
+              method: ir.Method, round_index: int | None = None) -> bool:
+    """Run one pass over one method, noting it in ``stats`` and (when
+    tracing) recording a per-pass span with before/after statement
+    counts."""
+    if not tracer.enabled:
+        changed = pass_fn(method)
+    else:
+        attrs = {"method": method.name}
+        if round_index is not None:
+            attrs["round"] = round_index
+        with tracer.span(f"pass:{name}", **attrs) as span:
+            before = _count_statements(method.body)
+            changed = pass_fn(method)
+            span.set(stmts_before=before,
+                     stmts_after=_count_statements(method.body),
+                     changed=changed)
+    if changed:
+        _note(stats, name)
+    return changed
+
+
+def _count_statements(body: list[ir.Stmt]) -> int:
+    """Statements in a method body, descending into control flow."""
+    count = 0
+    for stmt in body:
+        count += 1
+        if isinstance(stmt, ir.If):
+            count += _count_statements(stmt.then_body)
+            count += _count_statements(stmt.else_body)
+        elif isinstance(stmt, ir.While):
+            count += _count_statements(stmt.body)
+    return count
 
 
 def _note(stats: OptimizeStats, name: str) -> None:

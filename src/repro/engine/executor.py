@@ -26,6 +26,7 @@ from repro.engine.storage import Database
 from repro.engine.table import ColumnTable
 from repro.engine.udf_bridge import UDFBridge
 from repro.errors import ExecutorError
+from repro.obs import get_tracer, global_metrics
 from repro.sql import ast
 from repro.sql import plan as p
 from repro.sql.udf import UDFRegistry
@@ -33,6 +34,10 @@ from repro.sql.udf import UDFRegistry
 __all__ = ["PlanExecutor"]
 
 _PARALLEL_MIN_ROWS = 1 << 15
+
+_METRIC_ROWS_SCANNED = global_metrics().counter("exec.rows_scanned")
+_METRIC_ROWS_PRODUCED = global_metrics().counter("exec.rows_produced")
+_METRIC_OPERATORS = global_metrics().counter("exec.operators")
 
 
 class PlanExecutor:
@@ -47,7 +52,9 @@ class PlanExecutor:
     def execute(self, node: p.PlanNode,
                 n_threads: int = 1) -> ColumnTable:
         """Run the plan; returns the result as a column table."""
-        columns = self._exec(node, n_threads)
+        with get_tracer().span("execute", n_threads=n_threads):
+            columns = self._exec(node, n_threads)
+        _METRIC_ROWS_PRODUCED.inc(_num_rows(columns))
         result = ColumnTable("result")
         for name, type_ in node.output:
             result.add_column(name, columns[name], type_)
@@ -57,9 +64,24 @@ class PlanExecutor:
 
     def _exec(self, node: p.PlanNode,
               n_threads: int) -> dict[str, np.ndarray]:
+        """Dispatch one operator, wrapped in an ``op:<Type>`` span (rows
+        out recorded) when tracing is on."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._exec_node(node, n_threads)
+        with tracer.span("op:" + type(node).__name__) as span:
+            columns = self._exec_node(node, n_threads)
+            span.set(rows_out=_num_rows(columns))
+            return columns
+
+    def _exec_node(self, node: p.PlanNode,
+                   n_threads: int) -> dict[str, np.ndarray]:
+        _METRIC_OPERATORS.inc()
         if isinstance(node, p.Scan):
             table = self.db.table(node.table)
-            return {c: table.column(c) for c in node.columns}
+            columns = {c: table.column(c) for c in node.columns}
+            _METRIC_ROWS_SCANNED.inc(_num_rows(columns))
+            return columns
         if isinstance(node, p.Filter):
             return self._exec_filter(node, n_threads)
         if isinstance(node, p.Project):

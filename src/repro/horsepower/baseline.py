@@ -8,14 +8,21 @@ of facades is what the Table 2 / Table 4 benchmarks drive.
 
 from __future__ import annotations
 
+import time
+
 from repro.engine.executor import PlanExecutor
 from repro.engine.storage import Database
 from repro.engine.table import ColumnTable
+from repro.obs import get_tracer, global_metrics
 from repro.sql.parser import parse_sql
 from repro.sql.planner import plan_query
 from repro.sql.udf import UDFRegistry
 
 __all__ = ["MonetDBLike"]
+
+_METRIC_QUERIES = global_metrics().counter("baseline.query.count")
+_METRIC_QUERY_SECONDS = global_metrics().histogram(
+    "baseline.query.seconds")
 
 
 class MonetDBLike:
@@ -32,9 +39,22 @@ class MonetDBLike:
         return self.executor.bridge
 
     def plan_sql(self, sql: str):
-        select = parse_sql(sql)
-        return plan_query(select, self.db.catalog(), self.udfs)
+        tracer = get_tracer()
+        with tracer.span("parse"):
+            select = parse_sql(sql)
+        with tracer.span("plan"):
+            return plan_query(select, self.db.catalog(), self.udfs)
 
     def run_sql(self, sql: str, n_threads: int = 1) -> ColumnTable:
-        plan = self.plan_sql(sql)
-        return self.executor.execute(plan, n_threads=n_threads)
+        """Plan and execute, traced the same way as
+        :meth:`HorsePowerSystem.run_sql` (one ``query`` root with
+        ``parse``/``plan``/``execute`` children) so naive-vs-opt traces
+        line up side by side in Perfetto."""
+        start = time.perf_counter()
+        with get_tracer().span("query", system="monetdb", sql=sql,
+                               n_threads=n_threads):
+            plan = self.plan_sql(sql)
+            result = self.executor.execute(plan, n_threads=n_threads)
+        _METRIC_QUERIES.inc()
+        _METRIC_QUERY_SECONDS.observe(time.perf_counter() - start)
+        return result

@@ -24,11 +24,20 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.obs import global_metrics
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.horsepower.system import CompiledQuery
 
-__all__ = ["CacheStats", "PlanCache", "PreparedQuery", "normalize_sql",
-           "DEFAULT_PLAN_CACHE_SIZE"]
+__all__ = ["CacheStats", "EntryStats", "PlanCache", "PreparedQuery",
+           "normalize_sql", "DEFAULT_PLAN_CACHE_SIZE"]
+
+_METRIC_HITS = global_metrics().counter("plan_cache.hits")
+_METRIC_MISSES = global_metrics().counter("plan_cache.misses")
+_METRIC_EVICTIONS = global_metrics().counter("plan_cache.evictions")
+_METRIC_INVALIDATIONS = global_metrics().counter(
+    "plan_cache.invalidations")
+_METRIC_INSERTIONS = global_metrics().counter("plan_cache.insertions")
 
 #: Default number of prepared queries retained per system.
 DEFAULT_PLAN_CACHE_SIZE = 64
@@ -73,13 +82,31 @@ def normalize_sql(sql: str) -> str:
 
 
 @dataclass
+class EntryStats:
+    """Per-entry provenance: how often — and how recently — an entry
+    served a hit.  ``last_hit`` is a position in the cache-wide
+    monotonic hit sequence (``CacheStats.hit_sequence``), so entries can
+    be ordered by recency without wall clocks."""
+
+    hits: int = 0
+    last_hit: int = 0
+
+
+@dataclass
 class CacheStats:
-    """Observability counters (the cache analog of ``CompileReport``)."""
+    """Observability counters (the cache analog of ``CompileReport``).
+
+    Beyond the aggregate totals, ``entries`` carries per-entry hit
+    counts and last-hit sequence numbers for every *live* entry
+    (evicted and invalidated entries drop out); ``hit_sequence`` is the
+    monotonic counter those ``last_hit`` values index into."""
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    hit_sequence: int = 0
+    entries: dict[tuple, EntryStats] = field(default_factory=dict)
 
     @property
     def lookups(self) -> int:
@@ -89,11 +116,38 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def record_hit(self, key: tuple) -> None:
+        self.hits += 1
+        self.hit_sequence += 1
+        entry = self.entries.setdefault(key, EntryStats())
+        entry.hits += 1
+        entry.last_hit = self.hit_sequence
+
     def summary(self) -> str:
         return (f"hits={self.hits} misses={self.misses} "
                 f"evictions={self.evictions} "
                 f"invalidations={self.invalidations} "
                 f"hit_rate={self.hit_rate:.1%}")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form, included in the CLI's ``--metrics-json``
+        dump.  Entry keys render as ``sql | opt_level | backend``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_sequence": self.hit_sequence,
+            "hit_rate": self.hit_rate,
+            "entries": [
+                {
+                    "key": " | ".join(str(part) for part in key[:3]),
+                    "hits": entry.hits,
+                    "last_hit": entry.last_hit,
+                }
+                for key, entry in self.entries.items()
+            ],
+        }
 
 
 class PlanCache:
@@ -120,25 +174,32 @@ class PlanCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
+                _METRIC_MISSES.inc()
                 return None
             self._entries.move_to_end(key)
-            self.stats.hits += 1
+            self.stats.record_hit(key)
+            _METRIC_HITS.inc()
             return entry
 
     def insert(self, key: tuple, compiled: "CompiledQuery") -> None:
         with self._lock:
             self._entries[key] = compiled
             self._entries.move_to_end(key)
+            _METRIC_INSERTIONS.inc()
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self.stats.entries.pop(evicted, None)
                 self.stats.evictions += 1
+                _METRIC_EVICTIONS.inc()
 
     def invalidate(self) -> None:
         """Drop every entry (UDF registration, explicit reset)."""
         with self._lock:
             if self._entries:
                 self._entries.clear()
+                self.stats.entries.clear()
                 self.stats.invalidations += 1
+                _METRIC_INVALIDATIONS.inc()
 
     def __len__(self) -> int:
         with self._lock:

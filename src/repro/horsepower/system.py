@@ -19,6 +19,7 @@ Glues the pipelines of Figure 1 together over one database:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.core import types as ht
@@ -34,8 +35,12 @@ from repro.horsepower.cache import (
     DEFAULT_PLAN_CACHE_SIZE, CacheStats, PlanCache, PreparedQuery,
 )
 from repro.horsepower.translate import build_query_module
+from repro.obs import get_tracer, global_metrics
 
 __all__ = ["HorsePowerSystem", "CompiledQuery", "PreparedQuery"]
+
+_METRIC_QUERIES = global_metrics().counter("query.count")
+_METRIC_QUERY_SECONDS = global_metrics().histogram("query.seconds")
 
 
 @dataclass
@@ -49,13 +54,25 @@ class CompiledQuery:
     system: "HorsePowerSystem"
 
     def run(self, n_threads: int = 1, **kwargs) -> TableValue:
-        tables = self.system.db.to_table_values()
+        with get_tracer().span("bind-tables"):
+            tables = self.system.db.to_table_values()
         return self.program.run(tables, n_threads=n_threads, **kwargs)
 
     @property
     def compile_seconds(self) -> float:
         """The paper's COMP column: optimize + codegen time."""
         return self.program.report.compile_seconds
+
+    @property
+    def optimize_seconds(self) -> float:
+        """The optimizer's share of COMP."""
+        return self.program.report.optimize_seconds
+
+    @property
+    def codegen_seconds(self) -> float:
+        """The code-generation (plus verify/segmentation) share of
+        COMP."""
+        return self.program.report.codegen_seconds
 
     @property
     def kernel_sources(self) -> list[str]:
@@ -100,14 +117,18 @@ class HorsePowerSystem:
 
     def plan_sql(self, sql: str) -> dict:
         """Parse + plan + serialize; the JSON handed to the translator."""
-        select = parse_sql(sql)
-        plan = plan_query(select, self.db.catalog(), self.udfs)
-        return plan_to_json(plan)
+        tracer = get_tracer()
+        with tracer.span("parse"):
+            select = parse_sql(sql)
+        with tracer.span("plan"):
+            plan = plan_query(select, self.db.catalog(), self.udfs)
+            return plan_to_json(plan)
 
     def compile_sql(self, sql: str, opt_level: str = "opt",
                     backend: str = "python") -> CompiledQuery:
         plan_json = self.plan_sql(sql)
-        module = build_query_module(plan_json, self.udfs)
+        with get_tracer().span("translate"):
+            module = build_query_module(plan_json, self.udfs)
         program = compile_module(module, opt_level, backend=backend)
         return CompiledQuery(sql, plan_json, module, program, self)
 
@@ -120,24 +141,36 @@ class HorsePowerSystem:
         so a schema change or UDF registration can never serve a stale
         plan.  ``use_cache=False`` bypasses the cache entirely (no
         lookup, no insert, no stats)."""
-        key = self.plan_cache.key(sql, opt_level, backend,
-                                  self.db.schema_fingerprint(),
-                                  self.udfs.fingerprint())
-        if use_cache:
-            cached = self.plan_cache.lookup(key)
-            if cached is not None:
-                return PreparedQuery(cached, cached=True, key=key)
-        compiled = self.compile_sql(sql, opt_level, backend=backend)
-        if use_cache:
-            self.plan_cache.insert(key, compiled)
-        return PreparedQuery(compiled, cached=False, key=key)
+        tracer = get_tracer()
+        with tracer.span("prepare") as span:
+            key = self.plan_cache.key(sql, opt_level, backend,
+                                      self.db.schema_fingerprint(),
+                                      self.udfs.fingerprint())
+            if use_cache:
+                cached = self.plan_cache.lookup(key)
+                if cached is not None:
+                    span.set(cached=True)
+                    return PreparedQuery(cached, cached=True, key=key)
+            compiled = self.compile_sql(sql, opt_level, backend=backend)
+            if use_cache:
+                self.plan_cache.insert(key, compiled)
+            span.set(cached=False)
+            return PreparedQuery(compiled, cached=False, key=key)
 
     def run_sql(self, sql: str, n_threads: int = 1,
                 opt_level: str = "opt", backend: str = "python",
                 use_cache: bool = True, **kwargs) -> TableValue:
-        prepared = self.prepare(sql, opt_level, backend=backend,
-                                use_cache=use_cache)
-        return prepared.run(n_threads=n_threads, **kwargs)
+        tracer = get_tracer()
+        start = time.perf_counter()
+        with tracer.span("query", system="horsepower", sql=sql,
+                         opt_level=opt_level, backend=backend,
+                         n_threads=n_threads):
+            prepared = self.prepare(sql, opt_level, backend=backend,
+                                    use_cache=use_cache)
+            result = prepared.run(n_threads=n_threads, **kwargs)
+        _METRIC_QUERIES.inc()
+        _METRIC_QUERY_SECONDS.observe(time.perf_counter() - start)
+        return result
 
     @property
     def cache_stats(self) -> CacheStats:

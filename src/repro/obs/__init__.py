@@ -1,0 +1,30 @@
+"""``repro.obs`` — zero-dependency observability for the pipeline.
+
+Three pieces (see ``docs/observability.md`` for the span taxonomy and
+metric names):
+
+* :mod:`repro.obs.tracer` — hierarchical spans
+  (``query → parse/plan/translate/compile(optimize/codegen)/execute``,
+  optimizer spans per pass, executor spans per kernel and per chunk);
+  off by default via a near-free no-op tracer;
+* :mod:`repro.obs.metrics` — the process-global registry of counters,
+  gauges and histograms every subsystem reports into (plan cache,
+  executor pool, kernel executor, baseline operators);
+* :mod:`repro.obs.render` — ``EXPLAIN ANALYZE`` text, Chrome-trace JSON
+  (Perfetto-loadable) and the flat metrics dump.
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               global_metrics)
+from repro.obs.render import (chrome_trace, chrome_trace_json,
+                              phase_coverage, render_explain_analyze)
+from repro.obs.tracer import (NULL_TRACER, NullTracer, Span, Tracer,
+                              get_tracer, set_tracer, use_tracer)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "global_metrics",
+    "chrome_trace", "chrome_trace_json", "phase_coverage",
+    "render_explain_analyze",
+    "NULL_TRACER", "NullTracer", "Span", "Tracer", "get_tracer",
+    "set_tracer", "use_tracer",
+]

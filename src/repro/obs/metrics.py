@@ -1,0 +1,204 @@
+"""Process-global runtime metrics.
+
+A zero-dependency registry of named instruments, reported into by the
+plan cache (hits/misses/evictions), the executor pool (tasks, peak
+concurrency, wall time), the kernel executor (invocations, rows, wall
+time histogram) and the baseline operators (rows scanned/produced):
+
+* :class:`Counter` — monotonically increasing total (int or float);
+* :class:`Gauge` — last-set value (pool size, peak concurrency);
+* :class:`Histogram` — count/sum/min/max plus log-scale bucket counts,
+  sized for kernel wall times (1µs – 10s).
+
+All instruments are thread-safe.  ``global_metrics()`` returns the one
+process-wide registry; instruments are created on first use and keep
+their identity across :meth:`MetricsRegistry.reset` (values zero in
+place), so modules may cache instrument references at import time.
+
+The flat JSON form (:meth:`MetricsRegistry.snapshot`) is what the CLI's
+``--metrics-json`` writes and what ``benchmarks/report.py`` consumes to
+split the paper's COMP column into per-phase figures.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "global_metrics"]
+
+#: Default histogram bucket upper bounds, in seconds.
+DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def _snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value; ``set_max`` records high-water marks."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def set_max(self, value: float) -> None:
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def _snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Count/sum/min/max plus cumulative log-scale bucket counts."""
+
+    __slots__ = ("name", "_lock", "_bounds", "_buckets", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, name: str, bounds=DEFAULT_BUCKETS):
+        self.name = name
+        self._lock = threading.Lock()
+        self._bounds = tuple(bounds)
+        self._buckets = [0] * len(self._bounds)
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            for index, bound in enumerate(self._bounds):
+                if value <= bound:
+                    self._buckets[index] += 1
+                    break
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._buckets = [0] * len(self._bounds)
+            self.count = 0
+            self.sum = 0.0
+            self.min = None
+            self.max = None
+
+    def _snapshot(self):
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.sum / self.count if self.count else 0.0,
+                "buckets": {f"le_{bound:g}": count for bound, count
+                            in zip(self._bounds, self._buckets)},
+            }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    A name is bound to one instrument kind for the registry's lifetime —
+    asking for ``counter("x")`` after ``gauge("x")`` is a programming
+    error and raises.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, object] = {}
+
+    def _get(self, name: str, cls, *args):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls(name, *args)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {name!r} is a "
+                    f"{type(instrument).__name__}, not a {cls.__name__}")
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, bounds=DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, bounds)
+
+    def snapshot(self) -> dict:
+        """Flat ``{name: value-or-summary}`` dict, sorted by name."""
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        return {name: instrument._snapshot()
+                for name, instrument in instruments}
+
+    def reset(self) -> None:
+        """Zero every instrument in place (identities survive, so
+        modules caching instrument references stay wired up)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            instrument._reset()
+
+
+_global = MetricsRegistry()
+
+
+def global_metrics() -> MetricsRegistry:
+    """The process-wide registry every subsystem reports into."""
+    return _global

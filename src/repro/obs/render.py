@@ -1,0 +1,128 @@
+"""Renderers for traces and metrics.
+
+Three consumers, three formats:
+
+* :func:`render_explain_analyze` — the human ``EXPLAIN ANALYZE`` view: a
+  span tree annotated with wall times, percent-of-query shares, and the
+  attributes instrumentation recorded (row counts, pass statistics,
+  backend, cache provenance);
+* :func:`chrome_trace` / :func:`chrome_trace_json` — Chrome-trace-format
+  events (open ``chrome://tracing`` or https://ui.perfetto.dev and load
+  the file) with one complete (``"ph": "X"``) event per span, placed on
+  the thread that ran it;
+* :func:`phase_coverage` — the explain tree's self-check: how much of a
+  root span its children account for (the CLI prints it; the acceptance
+  bar is ≥95% on a query span).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.tracer import Span
+
+__all__ = ["render_explain_analyze", "chrome_trace", "chrome_trace_json",
+           "phase_coverage"]
+
+#: Attributes whose values are unstable across runs (golden tests render
+#: with ``timings=False`` and rely on the remaining attributes only).
+_UNSTABLE_ATTRS = ("error",)
+
+_MAX_ATTR_LEN = 48
+
+
+def _format_attr(value) -> str:
+    if isinstance(value, float):
+        text = f"{value:g}"
+    elif isinstance(value, bool):
+        text = str(value)
+    else:
+        text = str(value)
+    text = " ".join(text.split())
+    if len(text) > _MAX_ATTR_LEN:
+        text = text[:_MAX_ATTR_LEN - 1] + "…"
+    return text
+
+
+def _attr_suffix(span: Span) -> str:
+    parts = [f"{key}={_format_attr(value)}"
+             for key, value in span.attrs.items()]
+    return f"  [{' '.join(parts)}]" if parts else ""
+
+
+def render_explain_analyze(root: Span, *, timings: bool = True) -> str:
+    """The span tree as indented text (one line per span).
+
+    ``timings=False`` drops wall times and percentages — the stable form
+    golden tests compare against."""
+    total = root.seconds or 0.0
+    lines: list[str] = []
+
+    def emit(span: Span, prefix: str, branch: str, last: bool) -> None:
+        label = span.name
+        timing = ""
+        if timings:
+            timing = f"  {span.seconds * 1000:.3f} ms"
+            if span is not root and total > 0:
+                timing += f" ({span.seconds / total * 100:.1f}%)"
+        lines.append(prefix + branch + label + timing
+                     + _attr_suffix(span))
+        child_prefix = prefix
+        if branch:
+            child_prefix += "   " if last else "│  "
+        for index, child in enumerate(span.children):
+            child_last = index == len(span.children) - 1
+            emit(child, child_prefix,
+                 "└─ " if child_last else "├─ ", child_last)
+
+    emit(root, "", "", True)
+    if timings:
+        covered, total_s, fraction = phase_coverage(root)
+        if total_s > 0 and root.children:
+            lines.append(f"-- phases cover {covered * 1000:.3f} of "
+                         f"{total_s * 1000:.3f} ms "
+                         f"({fraction * 100:.1f}%)")
+    return "\n".join(lines)
+
+
+def phase_coverage(root: Span) -> tuple[float, float, float]:
+    """``(children_seconds, root_seconds, fraction)`` for a root span.
+
+    The explain tree is trustworthy only if the phases it shows account
+    for (almost) all of the time it reports; this is the number the
+    acceptance criterion checks (children sum within 5% of the total)."""
+    covered = sum(child.seconds for child in root.children)
+    total = root.seconds
+    return covered, total, (covered / total if total > 0 else 0.0)
+
+
+def chrome_trace(spans: list[Span]) -> dict:
+    """Spans (roots or a full list of trees) as a Chrome-trace dict.
+
+    Each span becomes one complete event: ``ph`` (phase type) ``"X"``,
+    ``ts``/``dur`` in microseconds, ``tid`` the OS thread that ran the
+    span — so pool workers show up as separate tracks in Perfetto."""
+    all_spans: list[Span] = []
+    for span in spans:
+        all_spans.extend(span.walk())
+    base = min((s.start for s in all_spans), default=0.0)
+    pid = os.getpid()
+    events = []
+    for span in all_spans:
+        events.append({
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": (span.start - base) * 1e6,
+            "dur": span.seconds * 1e6,
+            "pid": pid,
+            "tid": span.thread_id,
+            "args": {key: value for key, value in span.attrs.items()},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(spans: list[Span], *, indent: int | None = None
+                      ) -> str:
+    return json.dumps(chrome_trace(spans), indent=indent, default=str)

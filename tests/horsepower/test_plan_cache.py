@@ -77,6 +77,60 @@ class TestHitMiss:
         assert len(hp.plan_cache) == 0
 
 
+class TestEntryStats:
+    def test_per_entry_hits_and_last_hit_sequence(self, hp):
+        q1 = "SELECT SUM(x) AS s FROM t"
+        q2 = "SELECT SUM(y) AS s FROM t"
+        hp.run_sql(q1)
+        hp.run_sql(q2)
+        hp.run_sql(q1)
+        hp.run_sql(q1)
+        hp.run_sql(q2)
+        stats = hp.cache_stats
+        assert stats.hit_sequence == 3
+        entries = list(stats.entries.values())
+        assert len(entries) == 2
+        by_hits = sorted(entries, key=lambda e: e.hits)
+        assert [e.hits for e in by_hits] == [1, 2]
+        # The q2 hit came last, so it owns the newest sequence number.
+        assert by_hits[0].last_hit == 3
+        assert by_hits[1].last_hit == 2
+        # Sequence numbers are unique and monotonic across entries.
+        assert len({e.last_hit for e in entries}) == 2
+
+    def test_entry_stats_survive_in_metrics_dump(self, hp):
+        sql = "SELECT SUM(x) AS s FROM t"
+        hp.run_sql(sql)
+        hp.run_sql(sql)
+        dump = hp.cache_stats.to_dict()
+        assert dump["hits"] == 1 and dump["hit_sequence"] == 1
+        entry, = dump["entries"]
+        assert "SELECT SUM(x) AS s FROM t" in entry["key"]
+        assert entry["hits"] == 1 and entry["last_hit"] == 1
+
+    def test_eviction_drops_entry_stats(self, db):
+        hp = HorsePowerSystem(db, plan_cache_size=1)
+        q1 = "SELECT SUM(x) AS s FROM t"
+        q2 = "SELECT SUM(y) AS s FROM t"
+        hp.run_sql(q1)
+        hp.run_sql(q1)
+        assert len(hp.cache_stats.entries) == 1
+        hp.run_sql(q2)  # evicts q1
+        keys = list(hp.cache_stats.entries)
+        assert len(keys) <= 1
+        assert all(key[0] != normalize_sql(q1) for key in keys)
+
+    def test_invalidation_clears_entry_stats(self, hp):
+        sql = "SELECT SUM(x) AS s FROM t"
+        hp.run_sql(sql)
+        hp.run_sql(sql)
+        assert hp.cache_stats.entries
+        hp.plan_cache.invalidate()
+        assert hp.cache_stats.entries == {}
+        # The cumulative hit sequence is not rewound by invalidation.
+        assert hp.cache_stats.hit_sequence == 1
+
+
 class TestInvalidation:
     def test_udf_registration_clears_the_cache(self, hp):
         sql = "SELECT SUM(x) AS s FROM t"

@@ -1,0 +1,177 @@
+"""Metrics registry behavior, thread safety, and pool instrumentation."""
+
+import logging
+import threading
+import time
+
+import pytest
+
+from repro.core import execpool
+from repro.core.execpool import (ExecutorPool, close_shared_pool,
+                                 get_pool, shared_pool)
+from repro.obs import MetricsRegistry, global_metrics
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestInstruments:
+    def test_counter(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.set_max(3)
+        assert gauge.value == 5
+        gauge.set_max(9)
+        assert gauge.value == 9
+
+    def test_histogram(self):
+        hist = Histogram("h")
+        for value in (0.0005, 0.005, 0.005, 2.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.min == 0.0005
+        assert hist.max == 2.0
+        assert hist.mean == pytest.approx((0.0005 + 0.01 + 2.0) / 4)
+        snap = hist._snapshot()
+        assert snap["buckets"]["le_0.001"] == 1
+        assert snap["buckets"]["le_0.01"] == 2
+        assert snap["buckets"]["le_10"] == 1
+
+    def test_registry_get_or_create_and_kind_conflict(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_is_flat_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.gauge("a.size").set(4)
+        registry.histogram("c.seconds").observe(0.5)
+        snap = registry.snapshot()
+        assert list(snap) == ["a.size", "b.count", "c.seconds"]
+        assert snap["b.count"] == 2
+        assert snap["c.seconds"]["count"] == 1
+
+    def test_reset_zeroes_in_place_keeping_identity(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        hist = registry.histogram("h")
+        counter.inc(5)
+        hist.observe(1.0)
+        registry.reset()
+        assert registry.counter("x") is counter
+        assert counter.value == 0
+        assert hist.count == 0 and hist.min is None
+        counter.inc()
+        assert registry.counter("x").value == 1
+
+
+class TestThreadSafety:
+    def test_counter_increments_under_shared_pool_are_exact(self):
+        """The registry is shared by every pool worker; concurrent
+        increments through the process pool must not lose updates."""
+        close_shared_pool()
+        try:
+            registry = MetricsRegistry()
+            counter = registry.counter("hammer")
+            hist = registry.histogram("hammer.seconds")
+            pool = shared_pool().get(8)
+
+            def hammer(index):
+                for _ in range(500):
+                    counter.inc()
+                    hist.observe(index * 1e-6)
+
+            list(pool.map(hammer, range(16)))
+            assert counter.value == 16 * 500
+            assert hist.count == 16 * 500
+        finally:
+            close_shared_pool()
+
+    def test_concurrent_instrument_creation_yields_one_instance(self):
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            seen.append(registry.counter("contended"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(instrument is seen[0] for instrument in seen)
+
+
+class TestPoolInstrumentation:
+    def test_pool_metrics_recorded(self):
+        close_shared_pool()
+        try:
+            metrics = global_metrics()
+            submitted_before = metrics.counter(
+                "pool.tasks_submitted").value
+            completed_before = metrics.counter(
+                "pool.tasks_completed").value
+            seconds_before = metrics.counter(
+                "pool.task_seconds_total").value
+            pool = get_pool(4)
+            assert list(pool.map(lambda v: v + 1, range(10))) == \
+                list(range(1, 11))
+            assert metrics.counter("pool.tasks_submitted").value \
+                == submitted_before + 10
+            assert metrics.counter("pool.tasks_completed").value \
+                == completed_before + 10
+            assert metrics.counter("pool.task_seconds_total").value \
+                > seconds_before
+            assert metrics.gauge("pool.size").value >= 4
+            assert metrics.gauge("pool.peak_concurrent_tasks").value >= 1
+        finally:
+            close_shared_pool()
+
+    def test_submit_is_instrumented_too(self):
+        close_shared_pool()
+        try:
+            metrics = global_metrics()
+            before = metrics.counter("pool.tasks_completed").value
+            future = get_pool(2).submit(lambda: 41 + 1)
+            assert future.result() == 42
+            assert metrics.counter("pool.tasks_completed").value \
+                == before + 1
+        finally:
+            close_shared_pool()
+
+    def test_slow_worker_wait_warns_once(self, caplog, monkeypatch):
+        """A task waiting >100ms for a worker logs one warning per
+        process (and counts every occurrence in the registry)."""
+        monkeypatch.setattr(execpool, "_wait_warned", False)
+        warnings_before = global_metrics().counter(
+            "pool.wait_warnings").value
+        with ExecutorPool(max_workers=1) as pool:
+            executor = pool.get(1)
+            with caplog.at_level(logging.WARNING,
+                                 logger="repro.obs.execpool"):
+                # One worker, two 120ms tasks: the second waits >100ms.
+                list(executor.map(lambda _: time.sleep(0.12), range(2)))
+                list(executor.map(lambda _: time.sleep(0.12), range(2)))
+        records = [r for r in caplog.records
+                   if "waited" in r.getMessage()]
+        assert len(records) == 1
+        assert global_metrics().counter("pool.wait_warnings").value \
+            >= warnings_before + 2
+
+    def test_instrumented_executor_delegates_introspection(self):
+        close_shared_pool()
+        try:
+            pool = get_pool(2)
+            assert pool._shutdown is False  # ThreadPoolExecutor attr
+        finally:
+            close_shared_pool()

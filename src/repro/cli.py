@@ -3,11 +3,14 @@
 Commands:
 
 * ``run-sql``        — execute a SQL query against CSV/TPC-H tables on
-  either system (``--system horsepower|monetdb``), print the result;
+  either system (``--system horsepower|monetdb``), optionally picking
+  the execution engine (``--backend``), print the result;
 * ``compile-sql``    — show the full provenance chain for a query: plan
   JSON, generated HorseIR (before/after optimization) and fused kernels;
 * ``compile-matlab`` — translate a MATLAB file to HorseIR (and optionally
   run it on CSV columns);
+* ``list-backends``  — print the registered execution backends, their
+  capabilities and fallback chains;
 * ``gen-tpch``       — write TPC-H tables as ``|``-separated files.
 """
 
@@ -76,6 +79,21 @@ def _print_table(result, limit: int) -> None:
 def _cmd_run_sql(args) -> int:
     from repro.horsepower import HorsePowerSystem, MonetDBLike
 
+    backend = args.backend
+    if backend is not None:
+        from repro.engine.backends import default_registry
+        if args.system == "monetdb":
+            raise SystemExit(
+                "--backend picks the HorsePower execution engine; with "
+                "--system monetdb the baseline engine always runs "
+                "(`--system horsepower --backend baseline` reaches it "
+                "through the registry)")
+        if backend not in default_registry():
+            known = ", ".join(sorted(default_registry().names()))
+            raise SystemExit(
+                f"unknown backend {backend!r}; registered backends: "
+                f"{known} (see `python -m repro list-backends`)")
+
     db = _load_tables(args)
     sql = args.query if args.query else sys.stdin.read()
     repeat = max(1, args.repeat)
@@ -98,7 +116,8 @@ def _cmd_run_sql(args) -> int:
             use_cache = not args.no_cache
             for _ in range(repeat):
                 result = hp.run_sql(sql, n_threads=args.threads,
-                                    use_cache=use_cache)
+                                    use_cache=use_cache,
+                                    backend=backend or "python")
             if args.cache_stats:
                 print(f"-- plan cache: {hp.cache_stats.summary()} "
                       f"entries={len(hp.plan_cache)}")
@@ -181,6 +200,33 @@ def _cmd_compile_matlab(args) -> int:
     return 0
 
 
+def _cmd_list_backends(args) -> int:
+    """Print every registered execution backend with its availability,
+    capability set, fallback chain, and aliases."""
+    from repro.engine.backends import BackendError, default_registry
+
+    registry = default_registry()
+    for name in registry.names():
+        backend = registry.get(name)
+        try:
+            resolved = registry.resolve(name)
+        except BackendError:
+            resolved = backend
+        status = "available" if backend.available() else (
+            f"unavailable (falls back to {resolved.name})"
+            if resolved is not backend else "unavailable")
+        print(f"{name}  [{status}]")
+        print(f"    {backend.description}")
+        print("    capabilities: "
+              + ", ".join(sorted(backend.capabilities)))
+        if backend.fallback is not None:
+            print(f"    fallback: {backend.fallback}")
+        aliases = registry.aliases(name)
+        if aliases:
+            print("    aliases: " + ", ".join(aliases))
+    return 0
+
+
 def _cmd_gen_tpch(args) -> int:
     from repro.data.tpch import generate_tpch
     import os
@@ -215,6 +261,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="SQL text (reads stdin when omitted)")
     run_sql.add_argument("--system", choices=("horsepower", "monetdb"),
                          default="horsepower")
+    run_sql.add_argument("--backend", metavar="NAME",
+                         help="HorsePower execution engine (a name or "
+                              "alias from `list-backends`, e.g. pygen, "
+                              "c, interp, baseline); default pygen")
     run_sql.add_argument("--threads", type=int, default=1)
     run_sql.add_argument("--limit", type=int, default=20,
                          help="max rows to print")
@@ -254,6 +304,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--params", help="comma-separated entry parameter types, "
                          "e.g. f64,f64,str")
     compile_matlab.set_defaults(fn=_cmd_compile_matlab)
+
+    list_backends = commands.add_parser(
+        "list-backends",
+        help="print registered execution backends and capabilities")
+    list_backends.set_defaults(fn=_cmd_list_backends)
 
     gen_tpch = commands.add_parser("gen-tpch",
                                    help="write TPC-H .tbl files")

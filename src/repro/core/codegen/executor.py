@@ -17,10 +17,9 @@ import numpy as np
 
 from repro.core import types as ht
 from repro.core.codegen.pygen import CompiledKernel
-from repro.core.execpool import get_pool
+from repro.core.context import QueryContext, ensure_context
 from repro.core.values import Vector
 from repro.errors import BuiltinError, HorseRuntimeError
-from repro.obs import get_tracer, global_metrics
 
 __all__ = ["run_kernel", "DEFAULT_CHUNK_SIZE"]
 
@@ -29,31 +28,35 @@ __all__ = ["run_kernel", "DEFAULT_CHUNK_SIZE"]
 #: kernel; see EXPERIMENTS.md).
 DEFAULT_CHUNK_SIZE = 1 << 15
 
-_METRIC_INVOCATIONS = global_metrics().counter("kernel.invocations")
-_METRIC_CHUNKS = global_metrics().counter("kernel.chunks")
-_METRIC_ROWS_IN = global_metrics().counter("kernel.rows_in")
-_METRIC_ROWS_OUT = global_metrics().counter("kernel.rows_out")
-_METRIC_SECONDS = global_metrics().histogram("kernel.seconds")
-
 
 def run_kernel(kernel: CompiledKernel, inputs: list[Vector],
                n_threads: int = 1,
                chunk_size: int = DEFAULT_CHUNK_SIZE,
-               pool: ThreadPoolExecutor | None = None) -> list[Vector]:
+               pool: ThreadPoolExecutor | None = None,
+               ctx: QueryContext | None = None) -> list[Vector]:
     """Execute a fused kernel over its inputs; returns the output vectors
-    in the order of ``kernel.outputs``."""
+    in the order of ``kernel.outputs``.  Spans and kernel metrics report
+    into ``ctx`` (ambient process context when not given); parallel runs
+    borrow ``pool``, falling back to the context's pool."""
+    ctx = ensure_context(ctx)
     start = time.perf_counter()
-    outputs = _run_kernel(kernel, inputs, n_threads, chunk_size, pool)
-    _METRIC_INVOCATIONS.inc()
-    _METRIC_SECONDS.observe(time.perf_counter() - start)
-    _METRIC_ROWS_IN.inc(max((len(v) for v in inputs), default=0))
-    _METRIC_ROWS_OUT.inc(max((len(v) for v in outputs), default=0))
+    outputs = _run_kernel(kernel, inputs, n_threads, chunk_size, pool,
+                          ctx)
+    metrics = ctx.metrics
+    metrics.counter("kernel.invocations").inc()
+    metrics.histogram("kernel.seconds").observe(
+        time.perf_counter() - start)
+    metrics.counter("kernel.rows_in").inc(
+        max((len(v) for v in inputs), default=0))
+    metrics.counter("kernel.rows_out").inc(
+        max((len(v) for v in outputs), default=0))
     return outputs
 
 
 def _run_kernel(kernel: CompiledKernel, inputs: list[Vector],
                 n_threads: int, chunk_size: int,
-                pool: ThreadPoolExecutor | None) -> list[Vector]:
+                pool: ThreadPoolExecutor | None,
+                ctx: QueryContext) -> list[Vector]:
     arrays = [value.data for value in inputs]
     n = _base_length(kernel, arrays)
 
@@ -70,9 +73,9 @@ def _run_kernel(kernel: CompiledKernel, inputs: list[Vector],
 
     bounds = [(lo, min(lo + chunk_size, n))
               for lo in range(0, n, chunk_size)]
-    _METRIC_CHUNKS.inc(len(bounds))
+    ctx.metrics.counter("kernel.chunks").inc(len(bounds))
 
-    tracer = get_tracer()
+    tracer = ctx.tracer
     #: Worker threads start with an empty context, so chunk spans anchor
     #: to the kernel span captured here rather than via the contextvar.
     parent = tracer.current() if tracer.enabled else None
@@ -89,7 +92,7 @@ def _run_kernel(kernel: CompiledKernel, inputs: list[Vector],
 
     if n_threads > 1 and len(bounds) > 1:
         if pool is None:
-            pool = get_pool(n_threads)
+            pool = ctx.executor(n_threads)
         chunk_results = list(pool.map(run_chunk, bounds))
     else:
         chunk_results = [run_chunk(bound) for bound in bounds]

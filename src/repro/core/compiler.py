@@ -10,13 +10,23 @@ Two optimization levels, matching the paper's configurations:
   automatic loop fusion and kernel code generation.
 
 The compiled program's ``run`` takes ``n_threads``, the reproduction's
-OpenMP analog, and reports compile time (the paper's COMP column).
+OpenMP analog, and an optional :class:`~repro.core.context.QueryContext`
+naming the tracer/metrics/pool the run reports into; without one the
+ambient (process-global) context applies.
+
+Which kernel engine a fused segment compiles to is decided by a *kernel
+factory* — the hook the backend registry
+(:mod:`repro.engine.backends`) plugs its engines into.  The ``backend``
+string parameter remains as a convenience that picks one of the two
+built-in factories (``"python"`` → generated NumPy kernels, ``"c"`` →
+emitted C + OpenMP with per-segment Python fallback).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core import builtins as hb
 from repro.core import ir
@@ -24,7 +34,7 @@ from repro.core import types as ht
 from repro.core.codegen.cgen import CKernel, c_backend_available
 from repro.core.codegen.executor import DEFAULT_CHUNK_SIZE, run_kernel
 from repro.core.codegen.pygen import CompiledKernel, generate_kernel
-from repro.core.execpool import get_pool
+from repro.core.context import QueryContext, ensure_context
 from repro.core.optimizer import OptimizeStats, optimize
 from repro.core.optimizer.fusion import (
     FusedItem, IfItem, OpaqueItem, ReturnItem, WhileItem, segment_method,
@@ -32,17 +42,11 @@ from repro.core.optimizer.fusion import (
 from repro.core.values import TableValue, Value, Vector, coerce, scalar
 from repro.core.verify import verify_module
 from repro.errors import HorseRuntimeError
-from repro.obs import get_tracer, global_metrics
 
-__all__ = ["compile_module", "CompiledProgram", "CompileReport"]
+__all__ = ["compile_module", "CompiledProgram", "CompileReport",
+           "KernelFactory", "python_kernel_factory", "c_kernel_factory"]
 
 _MAX_LOOP_ITERATIONS = 100_000_000
-
-_METRIC_COMPILES = global_metrics().counter("compile.count")
-_METRIC_OPTIMIZE_SECONDS = global_metrics().counter(
-    "compile.optimize_seconds_total")
-_METRIC_CODEGEN_SECONDS = global_metrics().counter(
-    "compile.codegen_seconds_total")
 
 
 @dataclass
@@ -70,9 +74,11 @@ class CompileReport:
 class _KernelItem:
     """Plan item: a fused segment with its compiled kernel(s).
 
-    ``c_kernel`` is the native (emitted C + OpenMP) variant; it is tried
-    first under the "c" backend and falls back to the Python kernel when
-    a segment or a runtime dtype signature is ineligible.
+    ``c_kernel`` is the native (emitted C + OpenMP) variant; when
+    present it is tried first and ``run`` falls back to the Python
+    kernel for segments or runtime dtype signatures the native engine
+    cannot handle (strings, compressed selections) — the capability
+    fallback the backend registry documents as cgen → pygen.
     """
 
     __slots__ = ("kernel", "c_kernel")
@@ -81,6 +87,54 @@ class _KernelItem:
                  c_kernel: "CKernel | None" = None):
         self.kernel = kernel
         self.c_kernel = c_kernel
+
+    def run(self, inputs: list[Vector], state: "_RunState",
+            span=None) -> list[Vector]:
+        outputs = None
+        if self.c_kernel is not None:
+            outputs = self.c_kernel.try_run(inputs, state.n_threads)
+            if outputs is not None and span is not None:
+                span.set(backend="c")
+        if outputs is None:
+            if span is not None:
+                span.set(backend="python")
+            outputs = run_kernel(self.kernel, inputs,
+                                 n_threads=state.n_threads,
+                                 chunk_size=state.chunk_size,
+                                 pool=state.pool, ctx=state.ctx)
+        return outputs
+
+
+#: A kernel factory turns one fused segment into an executable plan
+#: item.  ``(segment, name, report) -> _KernelItem``.
+KernelFactory = Callable[[object, str, CompileReport], _KernelItem]
+
+
+def python_kernel_factory(segment, name: str,
+                          report: CompileReport) -> _KernelItem:
+    """Generated NumPy kernels — always available, handles every dtype."""
+    kernel = generate_kernel(segment, name=name)
+    report.kernel_sources.append(kernel.source)
+    return _KernelItem(kernel)
+
+
+def c_kernel_factory(segment, name: str,
+                     report: CompileReport) -> _KernelItem:
+    """Emitted C + OpenMP per segment, with the Python kernel kept as
+    the per-segment (and per-dtype-signature) fallback."""
+    item = python_kernel_factory(segment, name, report)
+    c_kernel = CKernel(segment)
+    if c_kernel.eligible:
+        report.c_eligible_segments += 1
+    item.c_kernel = c_kernel
+    return item
+
+
+#: The built-in engines the string ``backend`` parameter selects.
+_BUILTIN_FACTORIES: dict[str, KernelFactory] = {
+    "python": python_kernel_factory,
+    "c": c_kernel_factory,
+}
 
 
 class _ReturnSignal(Exception):
@@ -101,19 +155,22 @@ class CompiledProgram:
             args: list[Value] | None = None,
             method: str | None = None,
             n_threads: int = 1,
-            chunk_size: int = DEFAULT_CHUNK_SIZE) -> Value:
+            chunk_size: int = DEFAULT_CHUNK_SIZE,
+            ctx: QueryContext | None = None) -> Value:
         """Execute the entry method (or ``method``) and return its result.
 
-        Parallel runs borrow the process-wide :class:`ExecutorPool`
-        rather than building (and leak-prone ``shutdown(wait=False)``-ing)
-        a private pool per call — repeated executions of a prepared query
-        pay zero pool-construction cost.
+        Parallel runs borrow the context's :class:`ExecutorPool` (the
+        process-shared pool in the ambient context) rather than building
+        a private pool per call — repeated executions of a prepared
+        query pay zero pool-construction cost.
         """
-        ctx = hb.EvalContext(tables)
+        ctx = ensure_context(ctx)
+        eval_ctx = hb.EvalContext(tables)
         entry = method if method is not None else self.module.entry.name
-        pool = get_pool(n_threads)
-        state = _RunState(self, ctx, n_threads, chunk_size, pool)
-        tracer = get_tracer()
+        pool = ctx.executor(n_threads)
+        state = _RunState(self, eval_ctx, n_threads, chunk_size, pool,
+                          ctx)
+        tracer = ctx.tracer
         if not tracer.enabled:
             return state.call(entry, list(args or []))
         with tracer.span("execute", method=entry,
@@ -130,13 +187,15 @@ class CompiledProgram:
 class _RunState:
     """Per-run execution state: context, threading, method dispatch."""
 
-    def __init__(self, program: CompiledProgram, ctx: hb.EvalContext,
-                 n_threads: int, chunk_size: int, pool):
+    def __init__(self, program: CompiledProgram, eval_ctx: hb.EvalContext,
+                 n_threads: int, chunk_size: int, pool,
+                 ctx: QueryContext):
         self.program = program
-        self.ctx = ctx
+        self.eval_ctx = eval_ctx
         self.n_threads = n_threads
         self.chunk_size = chunk_size
         self.pool = pool
+        self.ctx = ctx
 
     def call(self, method_name: str, args: list[Value]) -> Value:
         try:
@@ -193,34 +252,18 @@ class _RunState:
                           env: dict[str, Value]) -> None:
         kernel = item.kernel
         inputs = self._gather_inputs(kernel, env)
-        tracer = get_tracer()
+        tracer = self.ctx.tracer
         if not tracer.enabled:
-            outputs = self._run_kernel_item(item, inputs)
+            outputs = item.run(inputs, self)
         else:
             with tracer.span("kernel:" + kernel.fn.__name__,
                              statements=len(kernel.segment.stmts)) as sp:
-                outputs = self._run_kernel_item(item, inputs, span=sp)
+                outputs = item.run(inputs, self, span=sp)
                 sp.set(rows_in=max((len(v) for v in inputs), default=0),
                        rows_out=max((len(v) for v in outputs),
                                     default=0))
         for (name, _), value in zip(kernel.outputs, outputs):
             env[name] = value
-
-    def _run_kernel_item(self, item: _KernelItem, inputs: list,
-                         span=None) -> list:
-        outputs = None
-        if item.c_kernel is not None:
-            outputs = item.c_kernel.try_run(inputs, self.n_threads)
-            if outputs is not None and span is not None:
-                span.set(backend="c")
-        if outputs is None:
-            if span is not None:
-                span.set(backend="python")
-            outputs = run_kernel(item.kernel, inputs,
-                                 n_threads=self.n_threads,
-                                 chunk_size=self.chunk_size,
-                                 pool=self.pool)
-        return outputs
 
     def _gather_inputs(self, kernel: CompiledKernel,
                        env: dict[str, Value]) -> list:
@@ -260,7 +303,7 @@ class _RunState:
         if isinstance(expr, ir.BuiltinCall):
             builtin = hb.get(expr.name)
             args = [self._eval(a, env) for a in expr.args]
-            return builtin.run(args, self.ctx)
+            return builtin.run(args, self.eval_ctx)
         if isinstance(expr, ir.MethodCall):
             args = [self._eval(a, env) for a in expr.args]
             return self.call(expr.name, args)
@@ -276,20 +319,28 @@ _coerce = coerce
 
 def compile_module(module: ir.Module, opt_level: str = "opt",
                    entry: str | None = None,
-                   backend: str = "python") -> CompiledProgram:
+                   backend: str = "python",
+                   ctx: QueryContext | None = None,
+                   kernel_factory: KernelFactory | None = None) \
+        -> CompiledProgram:
     """Compile a HorseIR module at ``opt_level`` (``"naive"`` or
     ``"opt"``).
 
-    ``backend`` selects the fused-kernel execution engine: ``"python"``
-    (generated NumPy kernels, always available) or ``"c"`` (emitted C +
-    OpenMP via gcc, per-segment with Python fallback)."""
+    ``kernel_factory`` decides the fused-kernel engine per segment; when
+    omitted, ``backend`` selects a built-in one: ``"python"`` (generated
+    NumPy kernels, always available) or ``"c"`` (emitted C + OpenMP via
+    gcc, per-segment with Python fallback).  Spans and compile metrics
+    go to ``ctx`` (the ambient process context when not given)."""
+    ctx = ensure_context(ctx)
     if opt_level not in ("naive", "opt"):
         raise ValueError(f"unknown opt level {opt_level!r}")
-    if backend not in ("python", "c"):
-        raise ValueError(f"unknown backend {backend!r}")
-    if backend == "c" and not c_backend_available():
-        raise ValueError("the C backend needs gcc on PATH")
-    tracer = get_tracer()
+    if kernel_factory is None:
+        if backend not in _BUILTIN_FACTORIES:
+            raise ValueError(f"unknown backend {backend!r}")
+        if backend == "c" and not c_backend_available():
+            raise ValueError("the C backend needs gcc on PATH")
+        kernel_factory = _BUILTIN_FACTORIES[backend]
+    tracer = ctx.tracer
     with tracer.span("compile", opt_level=opt_level,
                      backend=backend) as compile_span:
         start = time.perf_counter()
@@ -300,7 +351,8 @@ def compile_module(module: ir.Module, opt_level: str = "opt",
         if opt_level == "opt":
             opt_start = time.perf_counter()
             with tracer.span("optimize"):
-                module, stats = optimize(module, entry=entry)
+                module, stats = optimize(module, entry=entry,
+                                         tracer=tracer)
                 verify_module(module)
             optimize_seconds = time.perf_counter() - opt_start
 
@@ -310,7 +362,7 @@ def compile_module(module: ir.Module, opt_level: str = "opt",
             for name, method in module.methods.items():
                 plan = segment_method(method,
                                       enabled=(opt_level == "opt"))
-                plans[name] = _compile_plan(plan, report)
+                plans[name] = _compile_plan(plan, report, kernel_factory)
             codegen_span.set(fused_segments=report.fused_segments,
                              fused_statements=report.fused_statements)
 
@@ -323,34 +375,33 @@ def compile_module(module: ir.Module, opt_level: str = "opt",
         report.compile_seconds = (report.optimize_seconds
                                   + report.codegen_seconds)
         compile_span.set(fused_segments=report.fused_segments)
-    _METRIC_COMPILES.inc()
-    _METRIC_OPTIMIZE_SECONDS.inc(report.optimize_seconds)
-    _METRIC_CODEGEN_SECONDS.inc(report.codegen_seconds)
+    metrics = ctx.metrics
+    metrics.counter("compile.count").inc()
+    metrics.counter("compile.optimize_seconds_total").inc(
+        report.optimize_seconds)
+    metrics.counter("compile.codegen_seconds_total").inc(
+        report.codegen_seconds)
     return CompiledProgram(module, plans, report)
 
 
-def _compile_plan(plan: list, report: CompileReport) -> list:
+def _compile_plan(plan: list, report: CompileReport,
+                  kernel_factory: KernelFactory) -> list:
     compiled: list = []
     for item in plan:
         if isinstance(item, FusedItem):
-            kernel = generate_kernel(
-                item.segment, name=f"_kernel_{report.fused_segments}")
+            name = f"_kernel_{report.fused_segments}"
             report.fused_segments += 1
             report.fused_statements += len(item.segment.stmts)
-            report.kernel_sources.append(kernel.source)
-            c_kernel = None
-            if report.backend == "c":
-                c_kernel = CKernel(item.segment)
-                if c_kernel.eligible:
-                    report.c_eligible_segments += 1
-            compiled.append(_KernelItem(kernel, c_kernel))
+            compiled.append(kernel_factory(item.segment, name, report))
         elif isinstance(item, IfItem):
-            compiled.append(IfItem(item.cond,
-                                   _compile_plan(item.then_plan, report),
-                                   _compile_plan(item.else_plan, report)))
+            compiled.append(IfItem(
+                item.cond,
+                _compile_plan(item.then_plan, report, kernel_factory),
+                _compile_plan(item.else_plan, report, kernel_factory)))
         elif isinstance(item, WhileItem):
             compiled.append(WhileItem(
-                item.cond, _compile_plan(item.body_plan, report)))
+                item.cond,
+                _compile_plan(item.body_plan, report, kernel_factory)))
         else:
             compiled.append(item)
     return compiled

@@ -1,0 +1,72 @@
+"""The explicit per-query execution context.
+
+Every stage of the pipeline — parse → plan → translate → compile →
+execute — receives a :class:`QueryContext` naming the tracer to record
+spans into, the metrics registry to report into, and the executor pool
+to borrow worker threads from.  Nothing below the session layer reaches
+for process-global state; an isolated :class:`~repro.engine.EngineSession`
+builds contexts bound to its own tracer/metrics/pool, so N sessions can
+run concurrently in one process without sharing a single mutable object.
+
+For backward compatibility every ``ctx`` parameter is optional:
+:func:`ensure_context` falls back to the *ambient* context — the
+process-global tracer (:func:`repro.obs.get_tracer`), the process-global
+metrics registry (:func:`repro.obs.global_metrics`) and the shared
+executor pool — which is exactly the pre-session behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs import MetricsRegistry, get_tracer, global_metrics
+from repro.obs.tracer import NullTracer, Tracer
+
+__all__ = ["QueryContext", "ambient_context", "ensure_context"]
+
+
+@dataclass
+class QueryContext:
+    """What one query needs from its surroundings, made explicit.
+
+    * ``tracer`` — where spans go (a real :class:`~repro.obs.Tracer` or
+      the no-op ``NULL_TRACER``);
+    * ``metrics`` — the :class:`~repro.obs.MetricsRegistry` instruments
+      report into;
+    * ``pool`` — the :class:`~repro.core.execpool.ExecutorPool` chunked
+      parallel work borrows threads from (``None`` defers to the
+      process-shared pool on first parallel use);
+    * ``session`` — the owning :class:`~repro.engine.EngineSession`,
+      when there is one (backends use it to reach session-scoped state
+      such as the baseline plan executor).
+    """
+
+    tracer: "Tracer | NullTracer" = field(default_factory=get_tracer)
+    metrics: MetricsRegistry = field(default_factory=global_metrics)
+    pool: object | None = None
+    session: object | None = None
+
+    def executor(self, n_threads: int):
+        """An instrumented executor with ``n_threads`` workers, or
+        ``None`` when the run is serial.  Uses the context's pool when
+        one is bound, the process-shared pool otherwise."""
+        if n_threads <= 1:
+            return None
+        pool = self.pool
+        if pool is None:
+            from repro.core.execpool import shared_pool
+            pool = shared_pool()
+        return pool.get(n_threads)
+
+
+def ambient_context() -> QueryContext:
+    """The backward-compatible context: process tracer, process metrics,
+    process-shared pool.  Built fresh per call so ``set_tracer`` /
+    ``use_tracer`` swaps are honored."""
+    return QueryContext(tracer=get_tracer(), metrics=global_metrics(),
+                        pool=None)
+
+
+def ensure_context(ctx: QueryContext | None) -> QueryContext:
+    """``ctx`` itself, or the ambient context when ``None``."""
+    return ctx if ctx is not None else ambient_context()

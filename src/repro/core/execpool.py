@@ -1,19 +1,26 @@
-"""Process-level shared thread pool for chunked kernel execution.
+"""Reusable thread pools for chunked kernel execution.
 
 Before this module existed every ``CompiledProgram.run`` built a fresh
 ``ThreadPoolExecutor`` and tore it down with ``shutdown(wait=False)`` —
 repeated executions paid pool construction on the hot path and leaked
-in-flight worker threads whenever a kernel raised mid-run.  The
-:class:`ExecutorPool` owns one long-lived executor per process, lazily
-created at first parallel run, grown on demand, and shut down with
-``wait=True`` at interpreter exit (or an explicit ``close()``).
+in-flight worker threads whenever a kernel raised mid-run.  An
+:class:`ExecutorPool` owns one long-lived executor, lazily created at
+first parallel run, grown on demand, and shut down with ``wait=True``
+(``close()`` is idempotent, so a pool with several owners — a session,
+a test fixture, the interpreter-exit hook — can be closed by each of
+them safely).
 
-All users of chunked parallelism share it: the compiled-program runtime
-(:mod:`repro.core.compiler`), the fused-kernel executor
-(:mod:`repro.core.codegen.executor`), the baseline plan executor
-(:mod:`repro.engine.executor`) and the benchmark harness.  Work is always
-submitted synchronously (``pool.map`` from the caller's thread; chunk
-functions never re-submit), so sharing cannot deadlock.
+Pools are **instances**, not process state: every
+:class:`~repro.engine.EngineSession` owns one, sized and closed with the
+session, reporting into the session's own metrics registry.  The
+module-level :func:`shared_pool` / :func:`get_pool` pair remains as the
+ambient fallback for code that runs outside any session (it reports into
+the process-global registry and is joined at interpreter exit).
+
+All users of chunked parallelism submit work synchronously (``pool.map``
+from the caller's thread; chunk functions never re-submit), so sharing a
+pool between the compiled-program runtime, the fused-kernel executor and
+the baseline plan executor cannot deadlock.
 """
 
 from __future__ import annotations
@@ -26,28 +33,16 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.obs import global_metrics
+from repro.obs import MetricsRegistry, global_metrics
 
 __all__ = ["ExecutorPool", "PoolStats", "InstrumentedExecutor",
            "shared_pool", "get_pool", "close_shared_pool"]
 
 _log = logging.getLogger("repro.obs.execpool")
 
-_METRIC_POOL_SIZE = global_metrics().gauge("pool.size")
-_METRIC_PEAK_TASKS = global_metrics().gauge("pool.peak_concurrent_tasks")
-_METRIC_SUBMITTED = global_metrics().counter("pool.tasks_submitted")
-_METRIC_COMPLETED = global_metrics().counter("pool.tasks_completed")
-_METRIC_TASK_SECONDS = global_metrics().counter(
-    "pool.task_seconds_total")
-_METRIC_WAIT_WARNINGS = global_metrics().counter("pool.wait_warnings")
-
 #: A task waiting longer than this for a worker indicates pool
-#: starvation; logged (once per process) as a warning.
+#: starvation; logged (once per pool) as a warning.
 _WAIT_WARN_SECONDS = 0.1
-
-_wait_warned = False
-_concurrency_lock = threading.Lock()
-_concurrent_tasks = 0
 
 
 @dataclass
@@ -59,58 +54,82 @@ class PoolStats:
     max_workers_seen: int = 0
 
 
+class _PoolTelemetry:
+    """Per-pool instrumentation state: the metric instruments plus the
+    live concurrency counter and the once-per-pool starvation flag.
+    Owned by an :class:`ExecutorPool`; shared by the
+    :class:`InstrumentedExecutor` proxies it hands out."""
+
+    __slots__ = ("size", "peak_tasks", "submitted", "completed",
+                 "task_seconds", "wait_warnings", "lock",
+                 "concurrent_tasks", "wait_warned")
+
+    def __init__(self, metrics: MetricsRegistry):
+        self.size = metrics.gauge("pool.size")
+        self.peak_tasks = metrics.gauge("pool.peak_concurrent_tasks")
+        self.submitted = metrics.counter("pool.tasks_submitted")
+        self.completed = metrics.counter("pool.tasks_completed")
+        self.task_seconds = metrics.counter("pool.task_seconds_total")
+        self.wait_warnings = metrics.counter("pool.wait_warnings")
+        self.lock = threading.Lock()
+        self.concurrent_tasks = 0
+        self.wait_warned = False
+
+
 class InstrumentedExecutor:
     """A thin ``ThreadPoolExecutor`` wrapper reporting per-task metrics.
 
     Tracks tasks submitted/completed, total task wall time, and the peak
-    number of concurrently executing tasks in the process-global
-    :class:`~repro.obs.MetricsRegistry`, and warns (once per process)
-    when a task waited more than 100 ms for a free worker — the signal
-    that the shared pool is undersized for the load.  Everything else
-    (``shutdown``, ``_shutdown`` introspection, ...) delegates to the
-    wrapped executor.
+    number of concurrently executing tasks in the owning pool's metrics
+    registry, and warns (once per pool) when a task waited more than
+    100 ms for a free worker — the signal that the pool is undersized
+    for the load.  Everything else (``shutdown``, ``_shutdown``
+    introspection, ...) delegates to the wrapped executor.
     """
 
-    __slots__ = ("_inner",)
+    __slots__ = ("_inner", "_telemetry")
 
-    def __init__(self, inner: ThreadPoolExecutor):
+    def __init__(self, inner: ThreadPoolExecutor,
+                 telemetry: _PoolTelemetry):
         self._inner = inner
+        self._telemetry = telemetry
 
     def _wrap(self, fn, submitted_at: float):
+        telemetry = self._telemetry
+
         def task(*args, **kwargs):
-            global _concurrent_tasks, _wait_warned
             start = time.perf_counter()
             wait = start - submitted_at
             if wait > _WAIT_WARN_SECONDS:
-                _METRIC_WAIT_WARNINGS.inc()
-                if not _wait_warned:
-                    _wait_warned = True
+                telemetry.wait_warnings.inc()
+                if not telemetry.wait_warned:
+                    telemetry.wait_warned = True
                     _log.warning(
                         "executor-pool task waited %.0f ms for a worker "
-                        "(pool size %d); the shared pool is saturated "
-                        "(warning logged once per process)",
-                        wait * 1000.0, _METRIC_POOL_SIZE.value)
-            with _concurrency_lock:
-                _concurrent_tasks += 1
-                _METRIC_PEAK_TASKS.set_max(_concurrent_tasks)
+                        "(pool size %d); the pool is saturated "
+                        "(warning logged once per pool)",
+                        wait * 1000.0, telemetry.size.value)
+            with telemetry.lock:
+                telemetry.concurrent_tasks += 1
+                telemetry.peak_tasks.set_max(telemetry.concurrent_tasks)
             try:
                 return fn(*args, **kwargs)
             finally:
-                with _concurrency_lock:
-                    _concurrent_tasks -= 1
-                _METRIC_COMPLETED.inc()
-                _METRIC_TASK_SECONDS.inc(time.perf_counter() - start)
+                with telemetry.lock:
+                    telemetry.concurrent_tasks -= 1
+                telemetry.completed.inc()
+                telemetry.task_seconds.inc(time.perf_counter() - start)
         return task
 
     def map(self, fn, *iterables, **kwargs):
         iterables = [list(iterable) for iterable in iterables]
-        _METRIC_SUBMITTED.inc(min((len(it) for it in iterables),
-                                  default=0))
+        self._telemetry.submitted.inc(min((len(it) for it in iterables),
+                                          default=0))
         return self._inner.map(self._wrap(fn, time.perf_counter()),
                                *iterables, **kwargs)
 
     def submit(self, fn, *args, **kwargs):
-        _METRIC_SUBMITTED.inc()
+        self._telemetry.submitted.inc()
         return self._inner.submit(self._wrap(fn, time.perf_counter()),
                                   *args, **kwargs)
 
@@ -125,17 +144,27 @@ class ExecutorPool:
     ``n_threads`` workers, creating or growing the underlying executor as
     needed.  The first creation sizes the pool to
     ``max(n_threads, os.cpu_count())`` so later, larger requests rarely
-    force a re-build.  ``close(wait=True)`` joins every worker — the
-    context-manager form does the same on exit.
+    force a re-build.  ``close(wait=True)`` joins every worker and is
+    idempotent — a second close (from another owner, a context-manager
+    exit, or the interpreter-exit hook) is a no-op rather than an error.
+    The context-manager form closes on exit.
+
+    ``metrics`` names the registry task telemetry reports into; it
+    defaults to the process-global registry, while session-owned pools
+    pass the session's registry so per-session pool metrics never bleed
+    across sessions.
     """
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None,
+                 metrics: MetricsRegistry | None = None):
         self._lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
         self._proxy: InstrumentedExecutor | None = None
         self._workers = 0
         self._cap = max_workers
         self._closed = False
+        self._telemetry = _PoolTelemetry(
+            metrics if metrics is not None else global_metrics())
         self.stats = PoolStats()
 
     def get(self, n_threads: int) -> InstrumentedExecutor:
@@ -154,12 +183,13 @@ class ExecutorPool:
                 self._pool = ThreadPoolExecutor(
                     max_workers=want,
                     thread_name_prefix="repro-exec")
-                self._proxy = InstrumentedExecutor(self._pool)
+                self._proxy = InstrumentedExecutor(self._pool,
+                                                   self._telemetry)
                 self._workers = want
                 self.stats.pools_created += 1
                 self.stats.max_workers_seen = max(
                     self.stats.max_workers_seen, want)
-                _METRIC_POOL_SIZE.set(want)
+                self._telemetry.size.set(want)
                 if old is not None:
                     # All submission is synchronous map() from caller
                     # threads, so nothing is in flight here; joining is
@@ -176,8 +206,11 @@ class ExecutorPool:
         return self._closed
 
     def close(self, wait: bool = True) -> None:
-        """Shut the pool down, joining workers by default."""
+        """Shut the pool down, joining workers by default.  Safe to call
+        any number of times, from any owner."""
         with self._lock:
+            if self._closed:
+                return
             self._closed = True
             pool, self._pool, self._workers = self._pool, None, 0
             self._proxy = None
@@ -191,6 +224,9 @@ class ExecutorPool:
         self.close(wait=True)
 
 
+#: The ambient (process-shared) pool for code running outside a session.
+#: Deliberate module state, allowlisted by the no-globals guard test; new
+#: module-level mutable state must not be added here.
 _shared: ExecutorPool | None = None
 _shared_lock = threading.Lock()
 
@@ -201,7 +237,6 @@ def shared_pool() -> ExecutorPool:
     with _shared_lock:
         if _shared is None or _shared.closed:
             _shared = ExecutorPool()
-            atexit.register(_shared.close)
         return _shared
 
 
@@ -220,3 +255,10 @@ def close_shared_pool(wait: bool = True) -> None:
         pool, _shared = _shared, None
     if pool is not None:
         pool.close(wait=wait)
+
+
+#: One interpreter-exit hook for the lifetime of the process.  The old
+#: code registered ``_shared.close`` on every re-creation, stacking a
+#: stale callback per shared-pool cycle; closing here is idempotent and
+#: always targets the current pool.
+atexit.register(close_shared_pool)

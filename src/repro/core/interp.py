@@ -13,14 +13,11 @@ from __future__ import annotations
 from repro.core import builtins as hb
 from repro.core import ir
 from repro.core import types as ht
+from repro.core.context import QueryContext, ensure_context
 from repro.core.values import TableValue, Value, Vector, coerce, scalar
 from repro.errors import HorseRuntimeError
-from repro.obs import get_tracer, global_metrics
 
 __all__ = ["Interpreter", "run_module"]
-
-_METRIC_RUNS = global_metrics().counter("interp.runs")
-_METRIC_MATERIALIZED = global_metrics().counter("interp.materialized")
 
 _MAX_LOOP_ITERATIONS = 100_000_000
 
@@ -36,9 +33,13 @@ class Interpreter:
     """Statement-at-a-time evaluator for a HorseIR module."""
 
     def __init__(self, module: ir.Module,
-                 context: hb.EvalContext | None = None):
+                 context: hb.EvalContext | None = None,
+                 qctx: QueryContext | None = None):
         self.module = module
         self.context = context if context is not None else hb.EvalContext()
+        #: The query context naming the tracer/metrics this run reports
+        #: into (the ambient process context when not given).
+        self.qctx = ensure_context(qctx)
         #: Number of vector intermediates materialized (for the evaluation
         #: narrative: naive mode materializes one per statement).
         self.materialized = 0
@@ -56,7 +57,7 @@ class Interpreter:
                 raise HorseRuntimeError(
                     f"module {self.module.name!r} has no method "
                     f"{method_name!r}") from None
-        tracer = get_tracer()
+        tracer = self.qctx.tracer
         if not tracer.enabled:
             return self._traced_call(method, args, None)
         with tracer.span("interpret", method=method.name,
@@ -69,8 +70,9 @@ class Interpreter:
             return self._call(method, list(args or []))
         finally:
             materialized = self.materialized - before
-            _METRIC_RUNS.inc()
-            _METRIC_MATERIALIZED.inc(materialized)
+            metrics = self.qctx.metrics
+            metrics.counter("interp.runs").inc()
+            metrics.counter("interp.materialized").inc(materialized)
             if span is not None:
                 span.set(materialized=materialized)
 
@@ -160,7 +162,8 @@ class Interpreter:
 
 def run_module(module: ir.Module, tables: dict[str, TableValue] | None = None,
                method: str | None = None,
-               args: list[Value] | None = None) -> Value:
+               args: list[Value] | None = None,
+               ctx: QueryContext | None = None) -> Value:
     """Convenience wrapper: interpret ``module`` against ``tables``."""
-    interp = Interpreter(module, hb.EvalContext(tables))
+    interp = Interpreter(module, hb.EvalContext(tables), qctx=ctx)
     return interp.run(method, args)

@@ -48,10 +48,16 @@ _ROUND_PASSES = (
 
 
 def optimize(module: ir.Module, *, entry: str | None = None,
-             enable_patterns: bool = True) -> tuple[ir.Module, OptimizeStats]:
-    """Optimize ``module``; returns a new module and pass statistics."""
+             enable_patterns: bool = True,
+             tracer=None) -> tuple[ir.Module, OptimizeStats]:
+    """Optimize ``module``; returns a new module and pass statistics.
+
+    ``tracer`` names where per-pass spans go; ``None`` falls back to the
+    process-ambient tracer (callers inside a session pass
+    ``ctx.tracer``)."""
     stats = OptimizeStats()
-    tracer = get_tracer()
+    if tracer is None:
+        tracer = get_tracer()
     start = time.perf_counter()
 
     before = len(module.methods)

@@ -20,13 +20,12 @@ import numpy as np
 
 from repro.core import builtins as hb
 from repro.core import types as ht
-from repro.core.execpool import get_pool
+from repro.core.context import QueryContext, ensure_context
 from repro.core.values import ListValue, Vector
 from repro.engine.storage import Database
 from repro.engine.table import ColumnTable
 from repro.engine.udf_bridge import UDFBridge
 from repro.errors import ExecutorError
-from repro.obs import get_tracer, global_metrics
 from repro.sql import ast
 from repro.sql import plan as p
 from repro.sql.udf import UDFRegistry
@@ -35,26 +34,36 @@ __all__ = ["PlanExecutor"]
 
 _PARALLEL_MIN_ROWS = 1 << 15
 
-_METRIC_ROWS_SCANNED = global_metrics().counter("exec.rows_scanned")
-_METRIC_ROWS_PRODUCED = global_metrics().counter("exec.rows_produced")
-_METRIC_OPERATORS = global_metrics().counter("exec.operators")
-
 
 class PlanExecutor:
-    """Interprets logical plans over a :class:`Database`."""
+    """Interprets logical plans over a :class:`Database`.
 
-    def __init__(self, db: Database, udfs: UDFRegistry | None = None):
+    Not thread-safe across concurrent ``execute`` calls — each session
+    (or thread) owns its own executor, which is how session isolation is
+    achieved; the per-query :class:`QueryContext` passed to ``execute``
+    names the tracer/metrics/pool one run reports into."""
+
+    def __init__(self, db: Database, udfs: UDFRegistry | None = None,
+                 ctx: QueryContext | None = None):
         self.db = db
         self.udfs = udfs or UDFRegistry()
         self.bridge = UDFBridge()
         self._ctx = hb.EvalContext()
+        #: The default query context; ``None`` means "resolve the
+        #: ambient process context per execute" so tracer swaps
+        #: (``use_tracer``) made after construction are honored.
+        self._default_qctx = ctx
+        self._qctx = ensure_context(ctx)
 
-    def execute(self, node: p.PlanNode,
-                n_threads: int = 1) -> ColumnTable:
+    def execute(self, node: p.PlanNode, n_threads: int = 1,
+                ctx: QueryContext | None = None) -> ColumnTable:
         """Run the plan; returns the result as a column table."""
-        with get_tracer().span("execute", n_threads=n_threads):
+        self._qctx = ensure_context(
+            ctx if ctx is not None else self._default_qctx)
+        with self._qctx.tracer.span("execute", n_threads=n_threads):
             columns = self._exec(node, n_threads)
-        _METRIC_ROWS_PRODUCED.inc(_num_rows(columns))
+        self._qctx.metrics.counter("exec.rows_produced").inc(
+            _num_rows(columns))
         result = ColumnTable("result")
         for name, type_ in node.output:
             result.add_column(name, columns[name], type_)
@@ -66,7 +75,7 @@ class PlanExecutor:
               n_threads: int) -> dict[str, np.ndarray]:
         """Dispatch one operator, wrapped in an ``op:<Type>`` span (rows
         out recorded) when tracing is on."""
-        tracer = get_tracer()
+        tracer = self._qctx.tracer
         if not tracer.enabled:
             return self._exec_node(node, n_threads)
         with tracer.span("op:" + type(node).__name__) as span:
@@ -76,11 +85,12 @@ class PlanExecutor:
 
     def _exec_node(self, node: p.PlanNode,
                    n_threads: int) -> dict[str, np.ndarray]:
-        _METRIC_OPERATORS.inc()
+        self._qctx.metrics.counter("exec.operators").inc()
         if isinstance(node, p.Scan):
             table = self.db.table(node.table)
             columns = {c: table.column(c) for c in node.columns}
-            _METRIC_ROWS_SCANNED.inc(_num_rows(columns))
+            self._qctx.metrics.counter("exec.rows_scanned").inc(
+                _num_rows(columns))
             return columns
         if isinstance(node, p.Filter):
             return self._exec_filter(node, n_threads)
@@ -239,7 +249,7 @@ class PlanExecutor:
                     for name, arr in columns.items()}
             return np.asarray(self._eval_serial(expr, view))
 
-        pool = get_pool(n_threads)
+        pool = self._qctx.executor(n_threads)
         parts = list(pool.map(run, bounds))
         return np.concatenate([np.atleast_1d(part) for part in parts])
 

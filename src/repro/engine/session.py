@@ -1,0 +1,381 @@
+"""Session-scoped engine state: one ``EngineSession`` per database.
+
+Everything a query touches at runtime — the database, the prepared-query
+:class:`~repro.horsepower.cache.PlanCache`, the
+:class:`~repro.core.execpool.ExecutorPool`, the tracer, the
+:class:`~repro.obs.MetricsRegistry`, the UDF registry, and the
+:class:`~repro.engine.backends.BackendRegistry` — used to live in
+process globals reached through module-level lookups.  An
+:class:`EngineSession` owns one instance of each instead, and every
+pipeline stage (parse → plan → translate → compile → execute) receives
+the session's :class:`~repro.core.context.QueryContext` explicitly, so
+
+* two sessions in one process never share caches, pools, counters, or
+  trace buffers (the concurrent-session tests exercise exactly this);
+* the process-global behavior survives unchanged through
+  :meth:`EngineSession.ambient`, which wires a session to the global
+  metrics registry, the process-shared pool, and the dynamically
+  resolved ambient tracer — that is what the
+  :class:`~repro.horsepower.system.HorsePowerSystem` and
+  :class:`~repro.horsepower.baseline.MonetDBLike` facades build on.
+
+A session is a context manager; closing it shuts down the pool it owns
+(idempotently — closing twice, or after ``close_shared_pool`` at
+interpreter exit, is safe by design).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core import types as ht
+from repro.core.context import QueryContext
+from repro.core.execpool import ExecutorPool
+from repro.core.values import TableValue
+from repro.engine.backends import (
+    DEFAULT_BACKEND, BackendRegistry, CompilationUnit, default_registry,
+)
+from repro.engine.executor import PlanExecutor
+from repro.engine.storage import Database
+from repro.matlang.frontend import MatlabProgram, matlab_to_module
+from repro.obs import (
+    NULL_TRACER, MetricsRegistry, Tracer, get_tracer, global_metrics,
+)
+from repro.sql.parser import parse_sql
+from repro.sql.plan import plan_to_json
+from repro.sql.planner import plan_query
+from repro.sql.udf import ScalarUDF, TableUDFDef, UDFRegistry
+
+# The plan cache lives under repro.horsepower for historical import
+# compatibility; its package __init__ is lazy (PEP 562), so this import
+# does not pull in the facades and no cycle forms.
+from repro.horsepower.cache import (
+    DEFAULT_PLAN_CACHE_SIZE, CacheStats, PlanCache, PreparedQuery,
+)
+
+__all__ = ["EngineSession", "CompiledQuery"]
+
+#: Sentinel for :meth:`EngineSession.ambient`: resolve the process-shared
+#: pool dynamically per query instead of owning one.
+_SHARED_POOL = object()
+
+
+@dataclass
+class CompiledQuery:
+    """A compiled SQL query with its full provenance chain.
+
+    ``program`` is whatever executable the backend produced (a
+    :class:`~repro.core.compiler.CompiledProgram`, the interpreter's
+    module wrapper, or the baseline's plan); ``backend`` names the
+    registry entry that compiled it and will execute it."""
+
+    sql: str
+    plan_json: dict
+    module_before_opt: object  # ir.Module as built (pre-optimization)
+    program: object
+    session: "EngineSession"
+    backend: str = DEFAULT_BACKEND
+
+    def run(self, n_threads: int = 1,
+            ctx: QueryContext | None = None, **kwargs) -> TableValue:
+        session = self.session
+        if ctx is None:
+            ctx = session.context()
+        engine = session.backends.get(self.backend)
+        return engine.execute(self.program, ctx, db=session.db,
+                              n_threads=n_threads, **kwargs)
+
+    @property
+    def report(self):
+        """The backend's :class:`CompileReport` (None for executables
+        that carry no report, e.g. the baseline's plan)."""
+        return getattr(self.program, "report", None)
+
+    @property
+    def compile_seconds(self) -> float:
+        """The paper's COMP column: optimize + codegen time."""
+        report = self.report
+        return report.compile_seconds if report is not None else 0.0
+
+    @property
+    def optimize_seconds(self) -> float:
+        """The optimizer's share of COMP."""
+        report = self.report
+        return report.optimize_seconds if report is not None else 0.0
+
+    @property
+    def codegen_seconds(self) -> float:
+        """The code-generation (plus verify/segmentation) share of
+        COMP."""
+        report = self.report
+        return report.codegen_seconds if report is not None else 0.0
+
+    @property
+    def kernel_sources(self) -> list[str]:
+        return list(getattr(self.program, "kernel_sources", []))
+
+
+class EngineSession:
+    """One isolated engine instance: database, plan cache, executor
+    pool, tracer, metrics, UDFs, and backends, with no process-global
+    state shared between sessions.
+
+    A plain ``EngineSession()`` is fully isolated: its own
+    :class:`MetricsRegistry`, its own :class:`ExecutorPool` (closed with
+    the session), a null tracer unless one is passed, and a fresh
+    backend registry.  :meth:`ambient` instead builds the
+    process-default session the facades use."""
+
+    def __init__(self, db: Database | None = None,
+                 udfs: UDFRegistry | None = None, *,
+                 plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None,
+                 pool: ExecutorPool | None = None,
+                 backends: BackendRegistry | None = None,
+                 default_backend: str = DEFAULT_BACKEND,
+                 max_workers: int | None = None):
+        self.db = db if db is not None else Database()
+        self.udfs = udfs if udfs is not None else UDFRegistry()
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry())
+        self._tracer = tracer
+        #: Ambient sessions resolve ``get_tracer()`` per query so
+        #: ``use_tracer``/``set_tracer`` swaps are honored, exactly as
+        #: the pre-session facades behaved.
+        self._ambient_tracer = False
+        if pool is _SHARED_POOL:
+            self._pool = None       # resolve shared_pool() per query
+            self._owns_pool = False
+        elif pool is None:
+            self._pool = ExecutorPool(max_workers, metrics=self.metrics)
+            self._owns_pool = True
+        else:
+            self._pool = pool
+            self._owns_pool = False
+        self.backends = (backends if backends is not None
+                         else default_registry())
+        self.default_backend = default_backend
+        self.plan_cache = PlanCache(plan_cache_size,
+                                    metrics=self.metrics)
+        self._baseline_executor: PlanExecutor | None = None
+        self._closed = False
+        self._metric_queries = self.metrics.counter("query.count")
+        self._metric_query_seconds = self.metrics.histogram(
+            "query.seconds")
+
+    @classmethod
+    def ambient(cls, db: Database | None = None,
+                udfs: UDFRegistry | None = None, *,
+                plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+                backends: BackendRegistry | None = None,
+                default_backend: str = DEFAULT_BACKEND) \
+            -> "EngineSession":
+        """The process-default wiring: global metrics, the shared
+        executor pool (resolved per query, so pool resets at interpreter
+        exit are harmless), and the dynamically resolved ambient tracer.
+        This is what :class:`HorsePowerSystem` and :class:`MonetDBLike`
+        sit on — existing entry points keep their exact observable
+        behavior."""
+        session = cls(db, udfs, plan_cache_size=plan_cache_size,
+                      metrics=global_metrics(), pool=_SHARED_POOL,
+                      backends=backends,
+                      default_backend=default_backend)
+        session._ambient_tracer = True
+        return session
+
+    # -- context --------------------------------------------------------------
+
+    @property
+    def tracer(self):
+        if self._ambient_tracer:
+            return get_tracer()
+        return self._tracer if self._tracer is not None else NULL_TRACER
+
+    @property
+    def pool(self) -> ExecutorPool | None:
+        """The session's pool; ``None`` on ambient sessions, which
+        borrow the process-shared pool per query."""
+        return self._pool
+
+    def context(self) -> QueryContext:
+        """A fresh :class:`QueryContext` carrying this session's tracer,
+        metrics, and pool — the object threaded explicitly through
+        parse → plan → translate → compile → execute."""
+        return QueryContext(tracer=self.tracer, metrics=self.metrics,
+                            pool=self._pool, session=self)
+
+    def _ctx(self, ctx: QueryContext | None) -> QueryContext:
+        return ctx if ctx is not None else self.context()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the session's resources.  Idempotent: closing twice,
+        or after the pool was already shut down at interpreter exit, is
+        a no-op."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "EngineSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- UDF registration -----------------------------------------------------
+
+    def register_scalar_udf(self, name: str, matlab_source: str,
+                            param_types: list[ht.HorseType],
+                            ret_type: ht.HorseType = ht.F64,
+                            python_impl=None) -> ScalarUDF:
+        udf = ScalarUDF(name, list(param_types), ret_type,
+                        matlab_source=matlab_source,
+                        python_impl=python_impl)
+        self.udfs.register(udf)
+        self.plan_cache.invalidate()
+        return udf
+
+    def register_table_udf(self, name: str, matlab_source: str,
+                           param_types: list[ht.HorseType],
+                           output_columns: list[tuple[str, ht.HorseType]],
+                           python_impl=None) -> TableUDFDef:
+        udf = TableUDFDef(name, list(param_types),
+                          list(output_columns),
+                          matlab_source=matlab_source,
+                          python_impl=python_impl)
+        self.udfs.register(udf)
+        self.plan_cache.invalidate()
+        return udf
+
+    # -- SQL ------------------------------------------------------------------
+
+    def plan_sql(self, sql: str, ctx: QueryContext | None = None):
+        """Parse + plan; returns ``(plan, plan_json)`` — the logical
+        plan node and its JSON form (the translator's input)."""
+        ctx = self._ctx(ctx)
+        with ctx.tracer.span("parse"):
+            select = parse_sql(sql)
+        with ctx.tracer.span("plan"):
+            plan = plan_query(select, self.db.catalog(), self.udfs)
+            plan_json = plan_to_json(plan)
+        return plan, plan_json
+
+    def compile_sql(self, sql: str, opt_level: str = "opt",
+                    backend: str | None = None,
+                    ctx: QueryContext | None = None) -> CompiledQuery:
+        """Compile ``sql`` for one backend from the session registry
+        (capability fallback applies: an unavailable backend degrades
+        along its declared chain)."""
+        ctx = self._ctx(ctx)
+        engine = self.backends.resolve(backend or self.default_backend,
+                                       require=("sql",))
+        plan, plan_json = self.plan_sql(sql, ctx=ctx)
+        module = None
+        if "horseir" in engine.capabilities:
+            from repro.horsepower.translate import build_query_module
+            with ctx.tracer.span("translate"):
+                module = build_query_module(plan_json, self.udfs)
+        unit = CompilationUnit(opt_level=opt_level, module=module,
+                               plan=plan, plan_json=plan_json,
+                               udfs=self.udfs, sql=sql)
+        program = engine.compile(unit, ctx)
+        return CompiledQuery(sql, plan_json, module, program, self,
+                             backend=engine.name)
+
+    def prepare(self, sql: str, opt_level: str = "opt",
+                backend: str | None = None, use_cache: bool = True,
+                ctx: QueryContext | None = None) -> PreparedQuery:
+        """Fetch (or compile and cache) the prepared form of ``sql``.
+
+        The cache key carries the resolved backend's canonical name plus
+        the catalog and UDF-registry fingerprints, so a schema change or
+        UDF registration can never serve a stale plan.  Backends that
+        do not advertise the ``prepared`` capability (the baseline)
+        bypass the cache, as does ``use_cache=False`` (no lookup, no
+        insert, no stats)."""
+        ctx = self._ctx(ctx)
+        engine = self.backends.resolve(backend or self.default_backend,
+                                       require=("sql",))
+        use_cache = use_cache and "prepared" in engine.capabilities
+        with ctx.tracer.span("prepare") as span:
+            key = self.plan_cache.key(sql, opt_level, engine.name,
+                                      self.db.schema_fingerprint(),
+                                      self.udfs.fingerprint())
+            if use_cache:
+                cached = self.plan_cache.lookup(key)
+                if cached is not None:
+                    span.set(cached=True)
+                    return PreparedQuery(cached, cached=True, key=key)
+            compiled = self.compile_sql(sql, opt_level,
+                                        backend=engine.name, ctx=ctx)
+            if use_cache:
+                self.plan_cache.insert(key, compiled)
+            span.set(cached=False)
+            return PreparedQuery(compiled, cached=False, key=key)
+
+    def run_sql(self, sql: str, n_threads: int = 1,
+                opt_level: str = "opt", backend: str | None = None,
+                use_cache: bool = True,
+                ctx: QueryContext | None = None, **kwargs) -> TableValue:
+        """Prepare (cache permitting) and execute ``sql``."""
+        ctx = self._ctx(ctx)
+        backend_label = backend or self.default_backend
+        start = time.perf_counter()
+        with ctx.tracer.span("query", system="horsepower", sql=sql,
+                             opt_level=opt_level, backend=backend_label,
+                             n_threads=n_threads):
+            prepared = self.prepare(sql, opt_level, backend=backend,
+                                    use_cache=use_cache, ctx=ctx)
+            result = prepared.query.run(n_threads=n_threads, ctx=ctx,
+                                        **kwargs)
+        self._metric_queries.inc()
+        self._metric_query_seconds.observe(time.perf_counter() - start)
+        return result
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction/invalidation counters for the plan
+        cache."""
+        return self.plan_cache.stats
+
+    # -- baseline -------------------------------------------------------------
+
+    def baseline_executor(self) -> PlanExecutor:
+        """The session's MonetDB-like plan executor, created on first
+        use and kept for the session's lifetime so its UDF-bridge
+        conversion counters accumulate across queries."""
+        if self._baseline_executor is None:
+            self._baseline_executor = PlanExecutor(
+                self.db, self.udfs,
+                ctx=None if self._ambient_tracer else self.context())
+        return self._baseline_executor
+
+    # -- standalone MATLAB ----------------------------------------------------
+
+    def compile_matlab(self, source: str, param_specs=None,
+                       opt_level: str = "opt",
+                       backend: str | None = None,
+                       module_name: str = "MatlabModule",
+                       ctx: QueryContext | None = None) -> MatlabProgram:
+        """MATLAB source → HorseIR → an executable on one of the
+        session's backends."""
+        ctx = self._ctx(ctx)
+        engine = self.backends.resolve(backend or self.default_backend,
+                                       require=("matlab",))
+        module = matlab_to_module(source, param_specs,
+                                  module_name=module_name)
+        unit = CompilationUnit(opt_level=opt_level, module=module,
+                               udfs=self.udfs)
+        compiled = engine.compile(unit, ctx)
+        return MatlabProgram(module, compiled,
+                             ctx=None if self._ambient_tracer else ctx)

@@ -5,13 +5,40 @@
   optimization, compiled execution;
 * :class:`~repro.horsepower.baseline.MonetDBLike` — the comparison system:
   the same SQL planner, interpreted plan execution, black-box Python UDFs.
+
+Both are thin compatibility facades over
+:class:`~repro.engine.session.EngineSession`.  Exports resolve lazily
+(PEP 562): :mod:`repro.engine.session` imports the cache submodule here,
+and the facades import the session back — eager facade imports in this
+``__init__`` would turn that into a circular-import failure.
 """
 
-from repro.horsepower.baseline import MonetDBLike  # noqa: F401
-from repro.horsepower.cache import (  # noqa: F401
-    CacheStats, PlanCache, PreparedQuery,
-)
-from repro.horsepower.system import CompiledQuery, HorsePowerSystem  # noqa: F401
+import importlib
 
 __all__ = ["HorsePowerSystem", "MonetDBLike", "CompiledQuery",
            "PreparedQuery", "PlanCache", "CacheStats"]
+
+_EXPORTS = {
+    "HorsePowerSystem": "system",
+    "CompiledQuery": "system",
+    "MonetDBLike": "baseline",
+    "PreparedQuery": "cache",
+    "PlanCache": "cache",
+    "CacheStats": "cache",
+}
+
+
+def __getattr__(name):
+    try:
+        submodule = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    module = importlib.import_module(f"{__name__}.{submodule}")
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -4,6 +4,13 @@ Identical SQL surface to :class:`HorsePowerSystem` — same parser, same
 planner, same plans — but executed by the interpreting column-store
 engine with black-box Python UDFs (Section 2.3's architecture).  The pair
 of facades is what the Table 2 / Table 4 benchmarks drive.
+
+Like :class:`HorsePowerSystem`, this is a compatibility facade over an
+ambient :class:`~repro.engine.session.EngineSession`; the plan executor
+is the session's ``baseline_executor()`` (also reachable through the
+session's backend registry as the ``baseline`` backend), so its
+UDF-bridge conversion counters accumulate across queries exactly as
+before.
 """
 
 from __future__ import annotations
@@ -11,27 +18,35 @@ from __future__ import annotations
 import time
 
 from repro.engine.executor import PlanExecutor
+from repro.engine.session import EngineSession
 from repro.engine.storage import Database
 from repro.engine.table import ColumnTable
-from repro.obs import get_tracer, global_metrics
 from repro.sql.parser import parse_sql
 from repro.sql.planner import plan_query
 from repro.sql.udf import UDFRegistry
 
 __all__ = ["MonetDBLike"]
 
-_METRIC_QUERIES = global_metrics().counter("baseline.query.count")
-_METRIC_QUERY_SECONDS = global_metrics().histogram(
-    "baseline.query.seconds")
-
 
 class MonetDBLike:
     """Column-store DBS with embedded Python UDFs (the baseline)."""
 
     def __init__(self, db: Database, udfs: UDFRegistry | None = None):
-        self.db = db
-        self.udfs = udfs or UDFRegistry()
-        self.executor = PlanExecutor(db, self.udfs)
+        self.session = EngineSession.ambient(
+            db, udfs=udfs, default_backend="baseline")
+        self.executor: PlanExecutor = self.session.baseline_executor()
+        self._metric_queries = self.session.metrics.counter(
+            "baseline.query.count")
+        self._metric_query_seconds = self.session.metrics.histogram(
+            "baseline.query.seconds")
+
+    @property
+    def db(self) -> Database:
+        return self.session.db
+
+    @property
+    def udfs(self) -> UDFRegistry:
+        return self.session.udfs
 
     @property
     def bridge(self):
@@ -39,7 +54,7 @@ class MonetDBLike:
         return self.executor.bridge
 
     def plan_sql(self, sql: str):
-        tracer = get_tracer()
+        tracer = self.session.tracer
         with tracer.span("parse"):
             select = parse_sql(sql)
         with tracer.span("plan"):
@@ -50,11 +65,13 @@ class MonetDBLike:
         :meth:`HorsePowerSystem.run_sql` (one ``query`` root with
         ``parse``/``plan``/``execute`` children) so naive-vs-opt traces
         line up side by side in Perfetto."""
+        ctx = self.session.context()
         start = time.perf_counter()
-        with get_tracer().span("query", system="monetdb", sql=sql,
-                               n_threads=n_threads):
+        with ctx.tracer.span("query", system="monetdb", sql=sql,
+                             n_threads=n_threads):
             plan = self.plan_sql(sql)
-            result = self.executor.execute(plan, n_threads=n_threads)
-        _METRIC_QUERIES.inc()
-        _METRIC_QUERY_SECONDS.observe(time.perf_counter() - start)
+            result = self.executor.execute(plan, n_threads=n_threads,
+                                           ctx=ctx)
+        self._metric_queries.inc()
+        self._metric_query_seconds.observe(time.perf_counter() - start)
         return result

@@ -24,22 +24,15 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.obs import global_metrics
+from repro.obs import MetricsRegistry, global_metrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.horsepower.system import CompiledQuery
+    from repro.engine.session import CompiledQuery
 
 __all__ = ["CacheStats", "EntryStats", "PlanCache", "PreparedQuery",
            "normalize_sql", "DEFAULT_PLAN_CACHE_SIZE"]
 
-_METRIC_HITS = global_metrics().counter("plan_cache.hits")
-_METRIC_MISSES = global_metrics().counter("plan_cache.misses")
-_METRIC_EVICTIONS = global_metrics().counter("plan_cache.evictions")
-_METRIC_INVALIDATIONS = global_metrics().counter(
-    "plan_cache.invalidations")
-_METRIC_INSERTIONS = global_metrics().counter("plan_cache.insertions")
-
-#: Default number of prepared queries retained per system.
+#: Default number of prepared queries retained per session.
 DEFAULT_PLAN_CACHE_SIZE = 64
 
 def normalize_sql(sql: str) -> str:
@@ -151,16 +144,30 @@ class CacheStats:
 
 
 class PlanCache:
-    """Thread-safe LRU cache of compiled queries."""
+    """Thread-safe LRU cache of compiled queries.
 
-    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_SIZE):
+    ``metrics`` names the registry the cache's counters report into —
+    the owning session's registry, or the process-global one for caches
+    created outside a session."""
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_SIZE,
+                 metrics: MetricsRegistry | None = None):
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got "
                              f"{capacity}")
+        if metrics is None:
+            metrics = global_metrics()
         self.capacity = capacity
         self._entries: OrderedDict[tuple, "CompiledQuery"] = OrderedDict()
         self._lock = threading.Lock()
         self.stats = CacheStats()
+        self._metric_hits = metrics.counter("plan_cache.hits")
+        self._metric_misses = metrics.counter("plan_cache.misses")
+        self._metric_evictions = metrics.counter("plan_cache.evictions")
+        self._metric_invalidations = metrics.counter(
+            "plan_cache.invalidations")
+        self._metric_insertions = metrics.counter(
+            "plan_cache.insertions")
 
     @staticmethod
     def key(sql: str, opt_level: str, backend: str,
@@ -174,23 +181,23 @@ class PlanCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
-                _METRIC_MISSES.inc()
+                self._metric_misses.inc()
                 return None
             self._entries.move_to_end(key)
             self.stats.record_hit(key)
-            _METRIC_HITS.inc()
+            self._metric_hits.inc()
             return entry
 
     def insert(self, key: tuple, compiled: "CompiledQuery") -> None:
         with self._lock:
             self._entries[key] = compiled
             self._entries.move_to_end(key)
-            _METRIC_INSERTIONS.inc()
+            self._metric_insertions.inc()
             while len(self._entries) > self.capacity:
                 evicted, _ = self._entries.popitem(last=False)
                 self.stats.entries.pop(evicted, None)
                 self.stats.evictions += 1
-                _METRIC_EVICTIONS.inc()
+                self._metric_evictions.inc()
 
     def invalidate(self) -> None:
         """Drop every entry (UDF registration, explicit reset)."""
@@ -199,7 +206,7 @@ class PlanCache:
                 self._entries.clear()
                 self.stats.entries.clear()
                 self.stats.invalidations += 1
-                _METRIC_INVALIDATIONS.inc()
+                self._metric_invalidations.inc()
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,82 +1,34 @@
 """The HorsePower system facade.
 
-Glues the pipelines of Figure 1 together over one database:
+A thin compatibility layer over
+:class:`~repro.engine.session.EngineSession`: the facade owns an
+*ambient* session (process-global metrics, shared executor pool, the
+dynamically resolved ambient tracer), so every historical entry point —
+``compile_sql`` / ``run_sql`` for SQL (optionally with registered MATLAB
+UDFs), ``compile_matlab_function`` for standalone analytics,
+``prepare`` and the plan cache for prepared-query economics — keeps its
+exact observable behavior while the actual pipeline (parse → plan →
+translate → compile → execute) runs in the session with an explicit
+:class:`~repro.core.context.QueryContext`.
 
-* ``compile_sql`` / ``run_sql`` — SQL (optionally with registered MATLAB
-  UDFs) → plan → JSON → HorseIR (+ merged UDF methods) → optimized,
-  compiled, executed;
-* ``compile_matlab_function`` — standalone MATLAB analytics → HorseIR →
-  compiled executable;
-* UDF registration carries both the MATLAB source (used here) and an
-  optional Python implementation (used by the MonetDB-like baseline), so
-  a benchmark registers each UDF once for both systems;
-* ``prepare`` / ``run_sql`` — prepared-query execution through the
-  :class:`~repro.horsepower.cache.PlanCache`: repeat queries skip
-  parse→plan→optimize→codegen entirely and pay only kernel execution,
-  amortizing the paper's COMP cost across calls.  UDF registration
-  invalidates the cache; schema changes rotate the cache key.
+Isolated multi-session work (own caches, own pools, own counters)
+should construct :class:`~repro.engine.session.EngineSession` directly;
+this class remains the one-database, one-process convenience the
+benchmarks and the CLI drive.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-
 from repro.core import types as ht
-from repro.core.compiler import CompiledProgram, compile_module
-from repro.core.values import TableValue
+from repro.engine.session import CompiledQuery, EngineSession
 from repro.engine.storage import Database
-from repro.matlang.frontend import MatlabProgram, compile_matlab
-from repro.sql.parser import parse_sql
-from repro.sql.plan import plan_to_json
-from repro.sql.planner import plan_query
-from repro.sql.udf import ScalarUDF, TableUDFDef, UDFRegistry
 from repro.horsepower.cache import (
     DEFAULT_PLAN_CACHE_SIZE, CacheStats, PlanCache, PreparedQuery,
 )
-from repro.horsepower.translate import build_query_module
-from repro.obs import get_tracer, global_metrics
+from repro.matlang.frontend import MatlabProgram
+from repro.sql.udf import ScalarUDF, TableUDFDef, UDFRegistry
 
 __all__ = ["HorsePowerSystem", "CompiledQuery", "PreparedQuery"]
-
-_METRIC_QUERIES = global_metrics().counter("query.count")
-_METRIC_QUERY_SECONDS = global_metrics().histogram("query.seconds")
-
-
-@dataclass
-class CompiledQuery:
-    """A compiled SQL query with its full provenance chain."""
-
-    sql: str
-    plan_json: dict
-    module_before_opt: object  # ir.Module as built (pre-optimization)
-    program: CompiledProgram
-    system: "HorsePowerSystem"
-
-    def run(self, n_threads: int = 1, **kwargs) -> TableValue:
-        with get_tracer().span("bind-tables"):
-            tables = self.system.db.to_table_values()
-        return self.program.run(tables, n_threads=n_threads, **kwargs)
-
-    @property
-    def compile_seconds(self) -> float:
-        """The paper's COMP column: optimize + codegen time."""
-        return self.program.report.compile_seconds
-
-    @property
-    def optimize_seconds(self) -> float:
-        """The optimizer's share of COMP."""
-        return self.program.report.optimize_seconds
-
-    @property
-    def codegen_seconds(self) -> float:
-        """The code-generation (plus verify/segmentation) share of
-        COMP."""
-        return self.program.report.codegen_seconds
-
-    @property
-    def kernel_sources(self) -> list[str]:
-        return self.program.kernel_sources
 
 
 class HorsePowerSystem:
@@ -84,9 +36,21 @@ class HorsePowerSystem:
 
     def __init__(self, db: Database, udfs: UDFRegistry | None = None,
                  plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE):
-        self.db = db
-        self.udfs = udfs or UDFRegistry()
-        self.plan_cache = PlanCache(plan_cache_size)
+        self.session = EngineSession.ambient(
+            db, udfs=udfs, plan_cache_size=plan_cache_size,
+            default_backend="pygen")
+
+    @property
+    def db(self) -> Database:
+        return self.session.db
+
+    @property
+    def udfs(self) -> UDFRegistry:
+        return self.session.udfs
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        return self.session.plan_cache
 
     # -- UDF registration -------------------------------------------------------
 
@@ -94,93 +58,54 @@ class HorsePowerSystem:
                             param_types: list[ht.HorseType],
                             ret_type: ht.HorseType = ht.F64,
                             python_impl=None) -> ScalarUDF:
-        udf = ScalarUDF(name, list(param_types), ret_type,
-                        matlab_source=matlab_source,
-                        python_impl=python_impl)
-        self.udfs.register(udf)
-        self.plan_cache.invalidate()
-        return udf
+        return self.session.register_scalar_udf(
+            name, matlab_source, param_types, ret_type,
+            python_impl=python_impl)
 
     def register_table_udf(self, name: str, matlab_source: str,
                            param_types: list[ht.HorseType],
                            output_columns: list[tuple[str, ht.HorseType]],
                            python_impl=None) -> TableUDFDef:
-        udf = TableUDFDef(name, list(param_types),
-                          list(output_columns),
-                          matlab_source=matlab_source,
-                          python_impl=python_impl)
-        self.udfs.register(udf)
-        self.plan_cache.invalidate()
-        return udf
+        return self.session.register_table_udf(
+            name, matlab_source, param_types, output_columns,
+            python_impl=python_impl)
 
     # -- SQL -----------------------------------------------------------------
 
     def plan_sql(self, sql: str) -> dict:
         """Parse + plan + serialize; the JSON handed to the translator."""
-        tracer = get_tracer()
-        with tracer.span("parse"):
-            select = parse_sql(sql)
-        with tracer.span("plan"):
-            plan = plan_query(select, self.db.catalog(), self.udfs)
-            return plan_to_json(plan)
+        _, plan_json = self.session.plan_sql(sql)
+        return plan_json
 
     def compile_sql(self, sql: str, opt_level: str = "opt",
                     backend: str = "python") -> CompiledQuery:
-        plan_json = self.plan_sql(sql)
-        with get_tracer().span("translate"):
-            module = build_query_module(plan_json, self.udfs)
-        program = compile_module(module, opt_level, backend=backend)
-        return CompiledQuery(sql, plan_json, module, program, self)
+        return self.session.compile_sql(sql, opt_level, backend=backend)
 
     def prepare(self, sql: str, opt_level: str = "opt",
                 backend: str = "python",
                 use_cache: bool = True) -> PreparedQuery:
-        """Fetch (or compile and cache) the prepared form of ``sql``.
-
-        The cache key carries the catalog and UDF-registry fingerprints,
-        so a schema change or UDF registration can never serve a stale
-        plan.  ``use_cache=False`` bypasses the cache entirely (no
-        lookup, no insert, no stats)."""
-        tracer = get_tracer()
-        with tracer.span("prepare") as span:
-            key = self.plan_cache.key(sql, opt_level, backend,
-                                      self.db.schema_fingerprint(),
-                                      self.udfs.fingerprint())
-            if use_cache:
-                cached = self.plan_cache.lookup(key)
-                if cached is not None:
-                    span.set(cached=True)
-                    return PreparedQuery(cached, cached=True, key=key)
-            compiled = self.compile_sql(sql, opt_level, backend=backend)
-            if use_cache:
-                self.plan_cache.insert(key, compiled)
-            span.set(cached=False)
-            return PreparedQuery(compiled, cached=False, key=key)
+        """Fetch (or compile and cache) the prepared form of ``sql``;
+        see :meth:`EngineSession.prepare`."""
+        return self.session.prepare(sql, opt_level, backend=backend,
+                                    use_cache=use_cache)
 
     def run_sql(self, sql: str, n_threads: int = 1,
                 opt_level: str = "opt", backend: str = "python",
-                use_cache: bool = True, **kwargs) -> TableValue:
-        tracer = get_tracer()
-        start = time.perf_counter()
-        with tracer.span("query", system="horsepower", sql=sql,
-                         opt_level=opt_level, backend=backend,
-                         n_threads=n_threads):
-            prepared = self.prepare(sql, opt_level, backend=backend,
-                                    use_cache=use_cache)
-            result = prepared.run(n_threads=n_threads, **kwargs)
-        _METRIC_QUERIES.inc()
-        _METRIC_QUERY_SECONDS.observe(time.perf_counter() - start)
-        return result
+                use_cache: bool = True, **kwargs):
+        return self.session.run_sql(sql, n_threads=n_threads,
+                                    opt_level=opt_level, backend=backend,
+                                    use_cache=use_cache, **kwargs)
 
     @property
     def cache_stats(self) -> CacheStats:
         """Hit/miss/eviction/invalidation counters for the plan cache."""
-        return self.plan_cache.stats
+        return self.session.cache_stats
 
     # -- standalone MATLAB -------------------------------------------------------
 
     def compile_matlab_function(self, source: str, param_specs=None,
                                 opt_level: str = "opt",
                                 backend: str = "python") -> MatlabProgram:
-        return compile_matlab(source, param_specs, opt_level=opt_level,
-                              backend=backend)
+        return self.session.compile_matlab(source, param_specs,
+                                           opt_level=opt_level,
+                                           backend=backend)

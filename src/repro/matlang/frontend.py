@@ -55,11 +55,18 @@ def matlab_to_module(source: str, param_specs=None,
 
 
 class MatlabProgram:
-    """A compiled MATLAB program with a NumPy-friendly call interface."""
+    """A compiled MATLAB program with a NumPy-friendly call interface.
 
-    def __init__(self, module: ir.Module, compiled: CompiledProgram):
+    ``ctx`` pins the :class:`~repro.core.context.QueryContext` runs
+    report into (a session's context when compiled through
+    :meth:`EngineSession.compile_matlab`); ``None`` keeps the ambient
+    process context, resolved per call."""
+
+    def __init__(self, module: ir.Module, compiled: CompiledProgram,
+                 ctx=None):
         self.module = module
         self.compiled = compiled
+        self._ctx = ctx
 
     @property
     def report(self):
@@ -69,6 +76,8 @@ class MatlabProgram:
         """Run the entry function on NumPy arrays / Python scalars;
         returns a NumPy array (or scalar for 1-element results)."""
         values = [_to_value(a) for a in args]
+        if self._ctx is not None:
+            run_kwargs.setdefault("ctx", self._ctx)
         result = self.compiled.run(args=values, n_threads=n_threads,
                                    **run_kwargs)
         if isinstance(result, Vector):

@@ -410,6 +410,20 @@ class TestExecutorPool:
     def test_get_pool_serial_is_none(self):
         assert get_pool(1) is None
 
+    def test_shared_pool_recreates_after_close(self):
+        """Ambient callers must never receive a closed pool: a close
+        (test teardown, the interpreter-exit hook) makes the next
+        ``shared_pool()`` build a fresh one."""
+        pool = shared_pool()
+        close_shared_pool()
+        assert pool.closed
+        fresh = shared_pool()
+        try:
+            assert fresh is not pool
+            assert not fresh.closed
+        finally:
+            close_shared_pool()
+
     def test_failing_kernel_leaks_no_pool_threads(self):
         import threading
 

@@ -1,0 +1,106 @@
+"""Guard: the session refactor removed process-global mutable state
+from the engine; this test fails if any module re-grows it.
+
+The refactor moved every piece of per-query runtime state (metric
+instruments, pool telemetry, cache counters, tracer lookups) into
+instances owned by an ``EngineSession``.  A module-level counter or
+flag silently reintroduces cross-session bleed, so the allowlist below
+is the *complete* set of deliberate ambient state — anything else at
+module scope that is mutable fails the build.
+"""
+
+import __future__
+import importlib
+import logging
+import pkgutil
+import re
+import types
+
+from repro.obs.tracer import NullTracer
+
+#: Modules whose globals are audited: the facade package, the
+#: observability package, and the executor-pool module — the three
+#: places process-global state used to live.
+AUDITED_ROOTS = ["repro.horsepower", "repro.obs"]
+AUDITED_MODULES = ["repro.core.execpool", "repro.core.context",
+                   "repro.engine.session", "repro.engine.backends"]
+
+#: Deliberate ambient state, documented at each definition site.  New
+#: entries need the same justification: state that *defines* the
+#: process-wide default, never state a query writes to.
+ALLOWLIST = {
+    # The process-global metrics registry (the ambient default
+    # sessions opt into via EngineSession.ambient).
+    ("repro.obs.metrics", "_global"),
+    # The ambient tracer slot and the contextvar threading spans
+    # through nested calls.
+    ("repro.obs.tracer", "_tracer"),
+    ("repro.obs.tracer", "_current_span"),
+    ("repro.obs.tracer", "_NULL_SPAN"),
+    ("repro.obs.tracer", "NULL_TRACER"),
+    # The process-shared executor pool for code outside any session.
+    ("repro.core.execpool", "_shared"),
+    ("repro.core.execpool", "_shared_lock"),
+}
+
+#: Types that cannot hold cross-query mutable state.  ``NullTracer``
+#: is a stateless no-op singleton; ``__future__._Feature`` is the
+#: ``from __future__ import annotations`` artifact.
+IMMUTABLE_TYPES = (str, bytes, int, float, bool, complex, tuple,
+                   frozenset, type(None), types.ModuleType,
+                   types.FunctionType, types.BuiltinFunctionType,
+                   type, re.Pattern, logging.Logger, NullTracer,
+                   __future__._Feature)
+
+
+def audited_modules():
+    names = list(AUDITED_MODULES)
+    for root in AUDITED_ROOTS:
+        package = importlib.import_module(root)
+        names.append(root)
+        for info in pkgutil.iter_modules(package.__path__,
+                                         prefix=root + "."):
+            names.append(info.name)
+    return sorted(set(names))
+
+
+def is_benign(value) -> bool:
+    if isinstance(value, IMMUTABLE_TYPES):
+        return True
+    if type(value) is object:  # attribute-less sentinel
+        return True
+    # Constant lookup tables of immutable values (e.g. name → factory
+    # maps) are fine; anything nested-mutable is not.
+    if isinstance(value, dict):
+        return all(isinstance(k, (str, int)) and is_benign(v)
+                   for k, v in value.items())
+    if isinstance(value, (list, set)):
+        return all(is_benign(item) for item in value)
+    return False
+
+
+def test_no_module_level_mutable_state():
+    offenders = []
+    for module_name in audited_modules():
+        module = importlib.import_module(module_name)
+        for name, value in vars(module).items():
+            if name.startswith("__"):
+                continue
+            if (module_name, name) in ALLOWLIST:
+                continue
+            if is_benign(value):
+                continue
+            offenders.append(
+                f"{module_name}.{name} = {type(value).__name__}")
+    assert not offenders, (
+        "module-level mutable state found (move it into EngineSession "
+        "or allowlist it with a written justification):\n  "
+        + "\n  ".join(offenders))
+
+
+def test_allowlist_matches_reality():
+    """Every allowlisted name still exists — a stale allowlist entry
+    means the global was removed and the entry must go too."""
+    for module_name, attr in ALLOWLIST:
+        module = importlib.import_module(module_name)
+        assert hasattr(module, attr), (module_name, attr)

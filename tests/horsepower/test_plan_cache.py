@@ -50,9 +50,10 @@ class TestHitMiss:
         def boom(*args, **kwargs):  # pragma: no cover - must not run
             raise AssertionError("warm call re-compiled")
 
-        import repro.horsepower.system as system_mod
-        monkeypatch.setattr(system_mod, "compile_module", boom)
-        monkeypatch.setattr(system_mod, "parse_sql", boom)
+        import repro.engine.backends as backends_mod
+        import repro.engine.session as session_mod
+        monkeypatch.setattr(backends_mod, "compile_module", boom)
+        monkeypatch.setattr(session_mod, "parse_sql", boom)
         result = hp.run_sql(sql)
         assert result.num_rows == 1
 

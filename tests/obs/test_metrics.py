@@ -6,10 +6,8 @@ import time
 
 import pytest
 
-from repro.core import execpool
-from repro.core.execpool import (ExecutorPool, close_shared_pool,
-                                 get_pool, shared_pool)
-from repro.obs import MetricsRegistry, global_metrics
+from repro.core.execpool import ExecutorPool
+from repro.obs import MetricsRegistry
 from repro.obs.metrics import Counter, Gauge, Histogram
 
 
@@ -74,26 +72,23 @@ class TestInstruments:
 
 
 class TestThreadSafety:
-    def test_counter_increments_under_shared_pool_are_exact(self):
-        """The registry is shared by every pool worker; concurrent
-        increments through the process pool must not lose updates."""
-        close_shared_pool()
-        try:
-            registry = MetricsRegistry()
-            counter = registry.counter("hammer")
-            hist = registry.histogram("hammer.seconds")
-            pool = shared_pool().get(8)
+    def test_counter_increments_under_pool_workers_are_exact(self):
+        """A registry is shared by every pool worker; concurrent
+        increments through the pool must not lose updates."""
+        registry = MetricsRegistry()
+        counter = registry.counter("hammer")
+        hist = registry.histogram("hammer.seconds")
+        with ExecutorPool(metrics=registry) as pool:
+            executor = pool.get(8)
 
             def hammer(index):
                 for _ in range(500):
                     counter.inc()
                     hist.observe(index * 1e-6)
 
-            list(pool.map(hammer, range(16)))
-            assert counter.value == 16 * 500
-            assert hist.count == 16 * 500
-        finally:
-            close_shared_pool()
+            list(executor.map(hammer, range(16)))
+        assert counter.value == 16 * 500
+        assert hist.count == 16 * 500
 
     def test_concurrent_instrument_creation_yields_one_instance(self):
         registry = MetricsRegistry()
@@ -113,49 +108,34 @@ class TestThreadSafety:
 
 
 class TestPoolInstrumentation:
+    """Pools carry their own telemetry: each test builds a private
+    ``ExecutorPool`` over a private registry, so nothing here touches —
+    or needs to reset — process state."""
+
     def test_pool_metrics_recorded(self):
-        close_shared_pool()
-        try:
-            metrics = global_metrics()
-            submitted_before = metrics.counter(
-                "pool.tasks_submitted").value
-            completed_before = metrics.counter(
-                "pool.tasks_completed").value
-            seconds_before = metrics.counter(
-                "pool.task_seconds_total").value
-            pool = get_pool(4)
-            assert list(pool.map(lambda v: v + 1, range(10))) == \
+        metrics = MetricsRegistry()
+        with ExecutorPool(max_workers=4, metrics=metrics) as pool:
+            executor = pool.get(4)
+            assert list(executor.map(lambda v: v + 1, range(10))) == \
                 list(range(1, 11))
-            assert metrics.counter("pool.tasks_submitted").value \
-                == submitted_before + 10
-            assert metrics.counter("pool.tasks_completed").value \
-                == completed_before + 10
-            assert metrics.counter("pool.task_seconds_total").value \
-                > seconds_before
-            assert metrics.gauge("pool.size").value >= 4
-            assert metrics.gauge("pool.peak_concurrent_tasks").value >= 1
-        finally:
-            close_shared_pool()
+        assert metrics.counter("pool.tasks_submitted").value == 10
+        assert metrics.counter("pool.tasks_completed").value == 10
+        assert metrics.counter("pool.task_seconds_total").value > 0
+        assert metrics.gauge("pool.size").value == 4
+        assert metrics.gauge("pool.peak_concurrent_tasks").value >= 1
 
     def test_submit_is_instrumented_too(self):
-        close_shared_pool()
-        try:
-            metrics = global_metrics()
-            before = metrics.counter("pool.tasks_completed").value
-            future = get_pool(2).submit(lambda: 41 + 1)
+        metrics = MetricsRegistry()
+        with ExecutorPool(metrics=metrics) as pool:
+            future = pool.get(2).submit(lambda: 41 + 1)
             assert future.result() == 42
-            assert metrics.counter("pool.tasks_completed").value \
-                == before + 1
-        finally:
-            close_shared_pool()
+        assert metrics.counter("pool.tasks_completed").value == 1
 
-    def test_slow_worker_wait_warns_once(self, caplog, monkeypatch):
+    def test_slow_worker_wait_warns_once_per_pool(self, caplog):
         """A task waiting >100ms for a worker logs one warning per
-        process (and counts every occurrence in the registry)."""
-        monkeypatch.setattr(execpool, "_wait_warned", False)
-        warnings_before = global_metrics().counter(
-            "pool.wait_warnings").value
-        with ExecutorPool(max_workers=1) as pool:
+        *pool* (and counts every occurrence in the pool's registry)."""
+        metrics = MetricsRegistry()
+        with ExecutorPool(max_workers=1, metrics=metrics) as pool:
             executor = pool.get(1)
             with caplog.at_level(logging.WARNING,
                                  logger="repro.obs.execpool"):
@@ -165,13 +145,41 @@ class TestPoolInstrumentation:
         records = [r for r in caplog.records
                    if "waited" in r.getMessage()]
         assert len(records) == 1
-        assert global_metrics().counter("pool.wait_warnings").value \
-            >= warnings_before + 2
+        assert metrics.counter("pool.wait_warnings").value >= 2
+
+    def test_wait_warning_state_is_per_pool_not_per_process(self, caplog):
+        """A second saturated pool warns again — the once-only latch
+        lives in the pool's telemetry, not in module globals."""
+        def saturate(pool):
+            executor = pool.get(1)
+            with caplog.at_level(logging.WARNING,
+                                 logger="repro.obs.execpool"):
+                list(executor.map(lambda _: time.sleep(0.12), range(2)))
+
+        with ExecutorPool(max_workers=1,
+                          metrics=MetricsRegistry()) as pool:
+            saturate(pool)
+        with ExecutorPool(max_workers=1,
+                          metrics=MetricsRegistry()) as pool:
+            saturate(pool)
+        records = [r for r in caplog.records
+                   if "waited" in r.getMessage()]
+        assert len(records) == 2
 
     def test_instrumented_executor_delegates_introspection(self):
-        close_shared_pool()
-        try:
-            pool = get_pool(2)
-            assert pool._shutdown is False  # ThreadPoolExecutor attr
-        finally:
-            close_shared_pool()
+        with ExecutorPool() as pool:
+            executor = pool.get(2)
+            assert executor._shutdown is False  # ThreadPoolExecutor attr
+
+    def test_close_is_idempotent_across_owners(self):
+        """Several owners (session, fixture, atexit hook) may each close
+        the same pool; every close after the first is a no-op."""
+        pool = ExecutorPool(metrics=MetricsRegistry())
+        assert pool.get(2).submit(lambda: 1).result() == 1
+        pool.close()
+        pool.close()
+        with pool:      # context-manager exit closes a third time
+            pass
+        assert pool.closed
+        with pytest.raises(RuntimeError):
+            pool.get(2)

@@ -97,3 +97,38 @@ def test_bad_schema_type_message(csv_table):
     with pytest.raises(SystemExit, match="unknown column type"):
         main(["run-sql", "--table", f"t={csv_table}@x:quaternion",
               "SELECT x FROM t"])
+
+
+@pytest.mark.parametrize("backend", ["interp", "pygen", "python",
+                                     "baseline"])
+def test_run_sql_backend_selection(csv_table, capsys, backend):
+    code = main(["run-sql", "--backend", backend,
+                 "--table", f"t={csv_table}@x:f64,label:str",
+                 "SELECT SUM(x) AS s FROM t"])
+    assert code == 0
+    assert "6.0" in capsys.readouterr().out
+
+
+def test_run_sql_unknown_backend_is_rejected(csv_table):
+    with pytest.raises(SystemExit, match="unknown backend 'turbo'"):
+        main(["run-sql", "--backend", "turbo",
+              "--table", f"t={csv_table}@x:f64,label:str",
+              "SELECT SUM(x) AS s FROM t"])
+
+
+def test_run_sql_backend_conflicts_with_monetdb_system(csv_table):
+    with pytest.raises(SystemExit, match="--backend picks"):
+        main(["run-sql", "--system", "monetdb", "--backend", "pygen",
+              "--table", f"t={csv_table}@x:f64,label:str",
+              "SELECT SUM(x) AS s FROM t"])
+
+
+def test_list_backends(capsys):
+    code = main(["list-backends"])
+    assert code == 0
+    out = capsys.readouterr().out
+    for name in ("interp", "pygen", "cgen", "baseline"):
+        assert name in out
+    assert "capabilities:" in out
+    assert "aliases: python" in out
+    assert "fallback: pygen" in out

@@ -1,4 +1,5 @@
-"""Micro-benchmark: the cost of *disabled* tracing on TPC-H Q6.
+"""Micro-benchmark: the cost of *disabled* tracing and profiling on
+TPC-H Q6.
 
 Tracing is off by default and must stay near free: every
 instrumentation site costs one ``get_tracer()`` read plus one no-op
@@ -14,11 +15,17 @@ paper's Q6:
 **<2%**.  For reference it also reports the *enabled* tracing runtime,
 which is allowed to be slower (it allocates and timestamps real spans).
 
+The allocation profiler (PR 4) gets the same treatment: its disabled
+form is a single ``if profile.enabled:`` branch on the
+:data:`NULL_PROFILE` singleton, its site count is the number of charge
+events a profiled Q6 run records, and its disabled overhead must also
+stay **<2%** of the warm runtime.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py
 
-Exits non-zero if the disabled overhead exceeds the 2% bar.
+Exits non-zero if either disabled overhead exceeds the 2% bar.
 """
 
 from __future__ import annotations
@@ -32,7 +39,8 @@ if _REPO_ROOT not in sys.path:
     sys.path.insert(0, _REPO_ROOT)
 
 from benchmarks.harness import make_tpch_systems, time_callable  # noqa: E402
-from repro.obs import NULL_TRACER, Tracer, use_tracer  # noqa: E402
+from repro.obs import (NULL_PROFILE, NULL_TRACER, AllocationProfile,  # noqa: E402
+                       Tracer, use_profile, use_tracer)
 from repro.workloads.tpch_queries import PLAIN_QUERIES  # noqa: E402
 
 OVERHEAD_BAR = 0.02
@@ -49,12 +57,34 @@ def measure_null_span_cost(loops: int = _NULL_SPAN_LOOPS) -> float:
     return (time.perf_counter() - start) / loops
 
 
+def measure_null_profile_cost(loops: int = _NULL_SPAN_LOOPS) -> float:
+    """Seconds per disabled profiler site (the ``if profile.enabled:``
+    branch every charge point pays when profiling is off)."""
+    profile = NULL_PROFILE
+    sink = 0
+    start = time.perf_counter()
+    for _ in range(loops):
+        if profile.enabled:
+            sink += 1  # pragma: no cover - NULL_PROFILE is disabled
+    elapsed = time.perf_counter() - start
+    assert sink == 0
+    return elapsed / loops
+
+
 def count_spans_per_run(hp, sql: str) -> int:
     """Span sites one warm Q6 run passes through."""
     tracer = Tracer()
     with use_tracer(tracer):
         hp.run_sql(sql)
     return len(tracer.all_spans())
+
+
+def count_charge_sites_per_run(hp, sql: str) -> int:
+    """Profiler charge events one warm, profiled Q6 run records."""
+    profile = AllocationProfile()
+    with use_profile(profile):
+        hp.run_sql(sql)
+    return profile.events
 
 
 def main() -> int:
@@ -72,7 +102,11 @@ def main() -> int:
         enabled = time_callable(lambda: hp.run_sql(sql), warmup=2,
                                 rounds=7)
 
+    prof_site_cost = measure_null_profile_cost()
+    charge_sites = count_charge_sites_per_run(hp, sql)
+
     overhead = sites * site_cost / disabled.seconds
+    prof_overhead = charge_sites * prof_site_cost / disabled.seconds
     print("# Disabled-tracer overhead on TPC-H Q6 (warm, cached plan)")
     print(f"warm Q6 runtime (tracing off) : {disabled.millis:9.3f} ms")
     print(f"warm Q6 runtime (tracing on)  : {enabled.millis:9.3f} ms")
@@ -80,8 +114,21 @@ def main() -> int:
     print(f"cost per disabled site        : {site_cost * 1e9:9.1f} ns")
     print(f"disabled overhead             : {overhead:9.4%} "
           f"(bar: <{OVERHEAD_BAR:.0%})")
+    print()
+    print("# Disabled-profiler overhead on TPC-H Q6 (warm, cached plan)")
+    print(f"charge sites per profiled run : {charge_sites:9d}")
+    print(f"cost per disabled check       : {prof_site_cost * 1e9:9.1f}"
+          f" ns")
+    print(f"disabled overhead             : {prof_overhead:9.4%} "
+          f"(bar: <{OVERHEAD_BAR:.0%})")
+    failed = False
     if overhead >= OVERHEAD_BAR:
         print("FAIL: disabled tracing is not near-free")
+        failed = True
+    if prof_overhead >= OVERHEAD_BAR:
+        print("FAIL: disabled profiling is not near-free")
+        failed = True
+    if failed:
         return 1
     print("PASS")
     return 0

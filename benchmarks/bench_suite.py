@@ -1,0 +1,299 @@
+"""The continuous benchmark suite: the repo's perf trajectory, as data.
+
+Runs the canonical workloads (TPC-H Q1/Q6 with and without the Froid-
+style UDF rewrite, Black-Scholes bs0) across the two paper
+configurations — HorsePower-Naive (reference interpreter) and
+HorsePower-Opt (fused pygen kernels) — and records, per workload ×
+config:
+
+* ``cold_seconds`` — first ``run_sql`` on a fresh session (full
+  parse → plan → translate → compile → execute);
+* ``warm_seconds`` — median cache-served repeat, profiling off;
+* ``bytes_allocated`` / ``peak_bytes`` / ``intermediates_materialized``
+  — one profiled warm run (bytes are deterministic at a fixed scale,
+  which is what makes them a *blocking* regression signal).
+
+The result is written to ``BENCH_PR<N>.json`` at the repo root — one
+file per PR, committed, so ``git log`` doubles as a perf timeline — and
+compared against the newest prior ``BENCH_*.json``:
+
+* bytes regressions > 10% **fail** (deterministic, so any regression is
+  real);
+* wall-time regressions > 15% **warn** by default (CI machines are
+  noisy); ``--strict-time`` makes them fail too.
+
+Usage::
+
+    python benchmarks/bench_suite.py                  # write + compare
+    python benchmarks/bench_suite.py --compare        # measure + compare
+                                                      # only (no write)
+    REPRO_BENCH_SCALE=0.1 python benchmarks/bench_suite.py  # CI scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from harness import (BLACKSCHOLES_ROWS, TPCH_SCALE_FACTOR, bench_scale,
+                     time_callable)
+
+from repro.data.blackscholes import load_blackscholes_table
+from repro.data.tpch import generate_tpch
+from repro.engine import EngineSession
+from repro.engine.storage import Database
+from repro.obs import (AllocationProfile, format_fusion_savings,
+                       fusion_savings)
+from repro.obs.prof import format_bytes
+from repro.workloads.bs_queries import SCALAR_QUERIES, register_bs_udfs
+from repro.workloads.tpch_queries import (PLAIN_QUERIES, UDF_QUERIES,
+                                          register_tpch_udfs)
+
+SCHEMA_VERSION = 1
+DEFAULT_OUT = "BENCH_PR4.json"
+BYTES_REGRESSION_BAR = 0.10   # blocking
+TIME_REGRESSION_BAR = 0.15    # warn (blocking with --strict-time)
+WARM_ROUNDS = 3
+
+#: (workload key, sql source, udf registrar) — the canonical set the
+#: acceptance criteria name.  ``register`` is applied to each fresh
+#: session before the query runs.
+WORKLOADS = [
+    ("tpch_q1", lambda: PLAIN_QUERIES["q1"], None),
+    ("tpch_q1_udf", lambda: UDF_QUERIES["q1"], register_tpch_udfs),
+    ("tpch_q6", lambda: PLAIN_QUERIES["q6"], None),
+    ("tpch_q6_udf", lambda: UDF_QUERIES["q6"], register_tpch_udfs),
+    ("blackscholes", lambda: SCALAR_QUERIES["bs0_base"],
+     register_bs_udfs),
+]
+
+#: The two paper configurations: statement-at-a-time naive execution on
+#: the reference interpreter vs the fully optimized fused pipeline.
+CONFIGS = [
+    ("interp", "naive"),
+    ("pygen", "opt"),
+]
+
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.abspath(os.path.dirname(__file__)))
+
+
+def make_databases() -> dict[str, Database]:
+    scale = bench_scale()
+    tpch_db = generate_tpch(scale_factor=TPCH_SCALE_FACTOR * scale)
+    bs_db = Database()
+    load_blackscholes_table(bs_db, max(int(BLACKSCHOLES_ROWS * scale),
+                                       1_000))
+    return {"tpch": tpch_db, "bs": bs_db}
+
+
+def bench_entry(db: Database, sql: str, register, backend: str,
+                opt_level: str) -> dict:
+    """One workload × config measurement on an isolated session."""
+    import time
+
+    with EngineSession(db, default_backend=backend) as session:
+        if register is not None:
+            register(session)
+        start = time.perf_counter()
+        session.run_sql(sql, opt_level=opt_level, backend=backend)
+        cold = time.perf_counter() - start
+
+        warm = time_callable(
+            lambda: session.run_sql(sql, opt_level=opt_level,
+                                    backend=backend),
+            warmup=1, rounds=WARM_ROUNDS)
+
+        # Bytes from ONE profiled warm run on an explicit context; the
+        # timed runs above stay profile-free so profiling never skews
+        # the wall numbers.
+        profile = AllocationProfile()
+        ctx = session.context()
+        ctx.profile = profile
+        session.run_sql(sql, opt_level=opt_level, backend=backend,
+                        ctx=ctx)
+
+    return {
+        "backend": backend,
+        "opt_level": opt_level,
+        "cold_seconds": cold,
+        "warm_seconds": warm.seconds,
+        "bytes_allocated": profile.bytes_allocated,
+        "peak_bytes": profile.peak_bytes,
+        "intermediates_materialized":
+            profile.intermediates_materialized,
+    }
+
+
+def run_suite() -> dict:
+    dbs = make_databases()
+    workloads: dict[str, dict] = {}
+    profiles: dict[tuple, AllocationProfile] = {}
+    for name, sql_of, register in WORKLOADS:
+        db = dbs["bs"] if name == "blackscholes" else dbs["tpch"]
+        sql = sql_of()
+        for backend, opt_level in CONFIGS:
+            key = f"{name}/{backend}-{opt_level}"
+            entry = bench_entry(db, sql, register, backend, opt_level)
+            workloads[key] = entry
+            print(f"  {key:<34} cold={entry['cold_seconds'] * 1e3:8.2f}ms"
+                  f" warm={entry['warm_seconds'] * 1e3:8.2f}ms"
+                  f" alloc={format_bytes(entry['bytes_allocated']):>10}"
+                  f" peak={format_bytes(entry['peak_bytes']):>10}"
+                  f" intermediates="
+                  f"{entry['intermediates_materialized']}")
+
+    # The paper-style fusion report for the headline workload.
+    savings = {}
+    for name in ("tpch_q6_udf",):
+        naive = workloads[f"{name}/interp-naive"]
+        opt = workloads[f"{name}/pygen-opt"]
+        pseudo_naive, pseudo_opt = (AllocationProfile(),
+                                    AllocationProfile())
+        pseudo_naive.record(naive["bytes_allocated"],
+                            count=naive["intermediates_materialized"])
+        pseudo_naive.update_peak(naive["peak_bytes"])
+        pseudo_opt.record(opt["bytes_allocated"],
+                          count=opt["intermediates_materialized"])
+        pseudo_opt.update_peak(opt["peak_bytes"])
+        delta = fusion_savings(pseudo_naive, pseudo_opt)
+        savings[name] = delta.to_dict()
+        print()
+        print(format_fusion_savings(delta, title=f"{name} fusion "
+                                                 f"savings"))
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "label": "PR4",
+        "generated_by": "benchmarks/bench_suite.py",
+        "scale": {
+            "bench_scale": bench_scale(),
+            "tpch_scale_factor": TPCH_SCALE_FACTOR * bench_scale(),
+            "blackscholes_rows": max(int(BLACKSCHOLES_ROWS
+                                         * bench_scale()), 1_000),
+        },
+        "workloads": workloads,
+        "fusion_savings": savings,
+    }
+
+
+def find_baseline(exclude: str | None) -> str | None:
+    """The newest prior ``BENCH_*.json`` at the repo root: highest PR
+    number when the name encodes one, newest mtime otherwise."""
+    pattern = os.path.join(repo_root(), "BENCH_*.json")
+    candidates = [path for path in glob.glob(pattern)
+                  if exclude is None
+                  or os.path.abspath(path) != os.path.abspath(exclude)]
+    if not candidates:
+        return None
+
+    def sort_key(path: str):
+        match = re.search(r"BENCH_PR(\d+)\.json$", os.path.basename(path))
+        number = int(match.group(1)) if match else -1
+        return (number, os.path.getmtime(path))
+
+    return max(candidates, key=sort_key)
+
+
+def compare(current: dict, baseline_path: str,
+            strict_time: bool) -> int:
+    """Regressions vs the baseline file; returns the exit code."""
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    print(f"\n-- comparing against {os.path.basename(baseline_path)}")
+
+    if baseline.get("scale") != current.get("scale"):
+        print(f"   scale mismatch (baseline {baseline.get('scale')} vs "
+              f"current {current.get('scale')}); skipping comparison")
+        return 0
+
+    failures = []
+    warnings = []
+    base_workloads = baseline.get("workloads", {})
+    for key, entry in sorted(current["workloads"].items()):
+        base = base_workloads.get(key)
+        if base is None:
+            print(f"   {key}: new workload (no baseline)")
+            continue
+        base_bytes = base.get("bytes_allocated", 0)
+        if base_bytes > 0:
+            delta = (entry["bytes_allocated"] - base_bytes) / base_bytes
+            if delta > BYTES_REGRESSION_BAR:
+                failures.append(
+                    f"{key}: bytes_allocated "
+                    f"{format_bytes(base_bytes)} -> "
+                    f"{format_bytes(entry['bytes_allocated'])} "
+                    f"(+{delta * 100:.1f}% > "
+                    f"{BYTES_REGRESSION_BAR * 100:.0f}%)")
+        base_warm = base.get("warm_seconds", 0.0)
+        if base_warm > 0:
+            delta = (entry["warm_seconds"] - base_warm) / base_warm
+            if delta > TIME_REGRESSION_BAR:
+                warnings.append(
+                    f"{key}: warm_seconds {base_warm * 1e3:.2f}ms -> "
+                    f"{entry['warm_seconds'] * 1e3:.2f}ms "
+                    f"(+{delta * 100:.1f}% > "
+                    f"{TIME_REGRESSION_BAR * 100:.0f}%)")
+
+    for message in warnings:
+        print(f"   WARN (time): {message}")
+    for message in failures:
+        print(f"   FAIL (bytes): {message}")
+    if failures:
+        print("-- bytes regression: FAILED")
+        return 1
+    if warnings and strict_time:
+        print("-- time regression (strict mode): FAILED")
+        return 1
+    print(f"-- regression check OK "
+          f"({len(warnings)} time warning(s))")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help=f"output JSON path (default "
+                             f"{DEFAULT_OUT} at the repo root)")
+    parser.add_argument("--compare", action="store_true",
+                        help="measure and compare against the newest "
+                             "BENCH_*.json without writing a new file")
+    parser.add_argument("--strict-time", action="store_true",
+                        help="make >15%% wall-time regressions fail "
+                             "instead of warn")
+    args = parser.parse_args(argv)
+
+    print(f"bench_suite: scale={bench_scale()} "
+          f"(REPRO_BENCH_SCALE), warm rounds={WARM_ROUNDS}")
+    current = run_suite()
+
+    if args.compare:
+        baseline = find_baseline(exclude=None)
+        if baseline is None:
+            print("-- no BENCH_*.json baseline found; nothing to "
+                  "compare (ok)")
+            return 0
+        return compare(current, baseline, args.strict_time)
+
+    out = args.out or os.path.join(repo_root(), DEFAULT_OUT)
+    baseline = find_baseline(exclude=out)
+    code = 0
+    if baseline is not None:
+        code = compare(current, baseline, args.strict_time)
+    with open(out, "w") as handle:
+        json.dump(current, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"-- wrote {out}")
+    return code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -104,6 +104,11 @@ def _cmd_run_sql(args) -> int:
         from repro.obs import Tracer, set_tracer
         tracer = Tracer()
         set_tracer(tracer)
+    profile = None
+    if args.profile:
+        from repro.obs import AllocationProfile, set_profile
+        profile = AllocationProfile()
+        set_profile(profile)
 
     hp = None
     try:
@@ -125,10 +130,15 @@ def _cmd_run_sql(args) -> int:
         if tracing:
             from repro.obs import set_tracer
             set_tracer(None)
+        if profile is not None:
+            from repro.obs import set_profile
+            set_profile(None)
 
     _print_table(result, args.limit)
     if tracer is not None:
         _emit_trace_outputs(args, tracer)
+    if profile is not None:
+        _emit_profile_output(args, profile)
     if args.metrics_json:
         _write_metrics_json(args.metrics_json, hp)
     return 0
@@ -150,6 +160,18 @@ def _emit_trace_outputs(args, tracer) -> None:
             handle.write(chrome_trace_json(tracer.roots, indent=2))
         print(f"-- chrome trace written to {args.trace} "
               f"(open in chrome://tracing or https://ui.perfetto.dev)")
+
+
+def _emit_profile_output(args, profile) -> None:
+    """Write the allocation profile JSON and print a one-line summary."""
+    from repro.obs.prof import format_bytes
+
+    with open(args.profile, "w") as handle:
+        json.dump(profile.to_dict(), handle, indent=2)
+    print(f"-- allocation profile written to {args.profile} "
+          f"({format_bytes(profile.bytes_allocated)} allocated, "
+          f"{profile.intermediates_materialized} intermediates, "
+          f"peak {format_bytes(profile.peak_bytes)})")
 
 
 def _write_metrics_json(path: str, hp=None) -> None:
@@ -282,6 +304,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="record spans and write a Chrome-trace "
                               "JSON (default trace.json; open in "
                               "chrome://tracing or Perfetto)")
+    run_sql.add_argument("--profile", nargs="?", const="profile.json",
+                         metavar="PATH",
+                         help="charge materialized vectors to "
+                              "statements/builtins/kernels and write "
+                              "the allocation profile JSON (default "
+                              "profile.json); with --explain-analyze, "
+                              "spans gain alloc=/peak= byte columns")
     run_sql.add_argument("--explain-analyze", action="store_true",
                          help="print the traced span tree (per-phase "
                               "and per-kernel times, row counts) after "

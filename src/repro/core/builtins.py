@@ -35,10 +35,24 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core import types as ht
-from repro.core.values import ListValue, TableValue, Value, Vector, scalar
+from repro.core.values import (ListValue, TableValue, Value, Vector, scalar,
+                               value_nbytes)
 from repro.errors import BuiltinError
 
-__all__ = ["Builtin", "EvalContext", "BUILTINS", "get", "exists"]
+__all__ = ["Builtin", "EvalContext", "BUILTINS", "get", "exists",
+           "run_profiled", "materializes_output"]
+
+#: Builtins whose result is a reference to existing storage (the base
+#: table, one of its columns) rather than a newly materialized vector.
+#: The allocation profiler skips statement-level charges for these in
+#: *both* execution modes, so naive-vs-opt byte totals compare
+#: materialization, not how often base data is referenced.
+_REFERENCE_BUILTINS = frozenset({"load_table", "column_value"})
+
+
+def materializes_output(name: str) -> bool:
+    """Does ``@name`` allocate its result (vs hand out a reference)?"""
+    return name not in _REFERENCE_BUILTINS
 
 
 class EvalContext:
@@ -100,6 +114,24 @@ def get(name: str) -> Builtin:
 
 def exists(name: str) -> bool:
     return name in BUILTINS
+
+
+def run_profiled(builtin: Builtin, args: list[Value], ctx: EvalContext,
+                 profile) -> Value:
+    """Run ``builtin`` and feed its output size to the profile's
+    per-builtin breakdown.
+
+    The breakdown only attributes bytes the *statement-level* charge
+    (interpreter assignment / opaque plan item) already counted, so it
+    never touches ``bytes_allocated`` — see
+    :meth:`repro.obs.prof.AllocationProfile.record_builtin`.
+    Reference-returning builtins (``@load_table``, ``@column_value``)
+    are skipped: handing out a view of base data materializes nothing.
+    """
+    result = builtin.run(args, ctx)
+    if builtin.name not in _REFERENCE_BUILTINS:
+        profile.record_builtin(builtin.name, value_nbytes(result))
+    return result
 
 
 def _register(builtin: Builtin) -> None:

@@ -50,7 +50,38 @@ def run_kernel(kernel: CompiledKernel, inputs: list[Vector],
         max((len(v) for v in inputs), default=0))
     metrics.counter("kernel.rows_out").inc(
         max((len(v) for v in outputs), default=0))
+    profile = ctx.profile
+    if profile.enabled:
+        charge_kernel_alloc(kernel, inputs, outputs, chunk_size, ctx)
     return outputs
+
+
+def charge_kernel_alloc(kernel: CompiledKernel, inputs: list[Vector],
+                        outputs: list[Vector], chunk_size: int,
+                        ctx: QueryContext) -> None:
+    """Charge one fused-kernel invocation to the context's profile.
+
+    The fusion story in numbers: the kernel materializes only its
+    *outputs* plus its reused per-chunk ``out=`` buffers — each buffer
+    is ``min(base_len, chunk_size)`` elements and charged **once** no
+    matter how many chunks streamed through it, whereas the naive path
+    charges a full-length vector per statement.  The total also lands
+    on the current (kernel) span as ``alloc_bytes`` so
+    ``EXPLAIN ANALYZE`` shows per-span allocation.
+    """
+    profile = ctx.profile
+    n = max((len(v) for v, stream in zip(inputs, kernel.streamed)
+             if stream), default=1)
+    buffer_bytes = sum(min(n, chunk_size) * itemsize
+                       for itemsize in kernel.buffer_itemsizes)
+    output_bytes = sum(v.nbytes() for v in outputs)
+    total = output_bytes + buffer_bytes
+    site = "kernel:" + kernel.fn.__name__
+    profile.record(total, site=site,
+                   count=len(outputs) + len(kernel.buffer_itemsizes))
+    span = ctx.tracer.current()
+    if span is not None:
+        span.add("alloc_bytes", total)
 
 
 def _run_kernel(kernel: CompiledKernel, inputs: list[Vector],

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import functools
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -46,6 +46,12 @@ class CompiledKernel:
     streamed: list[bool]
     outputs: list[tuple[str, str]]  # (name, role)
     output_types: list[ht.HorseType]
+    #: element sizes (bytes) of the kernel's reused per-chunk ``out=``
+    #: buffers, one per buffer declaration — the allocation profiler
+    #: charges each buffer once per invocation at
+    #: ``min(base_len, chunk_size) * itemsize``, which is exactly why
+    #: fused segments allocate less than statement-at-a-time execution.
+    buffer_itemsizes: list[int] = field(default_factory=list)
 
 
 # -- kernel helper functions (bound into every kernel's globals) ------------
@@ -126,6 +132,13 @@ _IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
 _BUFFER_DTYPES = {
     "f64": "np.float64", "f32": "np.float32",
     "i64": "np.int64", "i32": "np.int32", "bool": "np.bool_",
+}
+
+#: buffer dtype spelling → NumPy type, for sizing the profiler's
+#: once-per-invocation chunk-buffer charge.
+_BUFFER_ITEMSIZE_DTYPES = {
+    "np.float64": np.float64, "np.float32": np.float32,
+    "np.int64": np.int64, "np.int32": np.int32, "np.bool_": np.bool_,
 }
 
 #: logical ufuncs only take buffers when their operands are provably
@@ -267,8 +280,12 @@ def generate_kernel(segment: Segment,
     fn = namespace[name]
 
     output_types = [target_types.get(out, ht.WILDCARD) for out in out_names]
+    buffer_itemsizes = ([np.dtype(_BUFFER_ITEMSIZE_DTYPES[dtype]).itemsize
+                         for _, dtype in planner.buffer_decls]
+                        if planner is not None else [])
     return CompiledKernel(segment, source, fn, list(segment.inputs),
-                          streamed, list(segment.outputs), output_types)
+                          streamed, list(segment.outputs), output_types,
+                          buffer_itemsizes)
 
 
 def _emit_expr(expr: ir.Expr) -> str:

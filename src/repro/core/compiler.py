@@ -39,7 +39,8 @@ from repro.core.optimizer import OptimizeStats, optimize
 from repro.core.optimizer.fusion import (
     FusedItem, IfItem, OpaqueItem, ReturnItem, WhileItem, segment_method,
 )
-from repro.core.values import TableValue, Value, Vector, coerce, scalar
+from repro.core.values import (TableValue, Value, Vector, coerce, scalar,
+                               value_nbytes)
 from repro.core.verify import verify_module
 from repro.errors import HorseRuntimeError
 
@@ -93,8 +94,20 @@ class _KernelItem:
         outputs = None
         if self.c_kernel is not None:
             outputs = self.c_kernel.try_run(inputs, state.n_threads)
-            if outputs is not None and span is not None:
-                span.set(backend="c")
+            if outputs is not None:
+                if span is not None:
+                    span.set(backend="c")
+                if state.profile.enabled:
+                    # The native path allocates only its output arrays
+                    # on the Python heap (its temporaries live inside
+                    # the emitted C); run_kernel charges the Python
+                    # path itself.
+                    total = sum(v.nbytes() for v in outputs)
+                    state.profile.record(
+                        total, site="kernel:" + self.kernel.fn.__name__,
+                        count=len(outputs))
+                    if span is not None:
+                        span.add("alloc_bytes", total)
         if outputs is None:
             if span is not None:
                 span.set(backend="python")
@@ -196,6 +209,9 @@ class _RunState:
         self.chunk_size = chunk_size
         self.pool = pool
         self.ctx = ctx
+        #: Allocation accounting for this run (NULL_PROFILE when the
+        #: query is not profiled; sites check ``.enabled`` first).
+        self.profile = ctx.profile
 
     def call(self, method_name: str, args: list[Value]) -> Value:
         try:
@@ -222,13 +238,28 @@ class _RunState:
     # -- plan execution ------------------------------------------------------
 
     def _exec_plan(self, plan: list, env: dict[str, Value]) -> None:
+        profile = self.profile
         for item in plan:
             if isinstance(item, _KernelItem):
                 self._exec_kernel_item(item, env)
+                if profile.enabled:
+                    profile.update_peak(
+                        sum(value_nbytes(v) for v in env.values()))
             elif isinstance(item, OpaqueItem):
                 stmt = item.stmt
                 env[stmt.target] = _coerce(self._eval(stmt.expr, env),
                                            stmt.type)
+                if profile.enabled:
+                    # Opaque statements materialize like the reference
+                    # interpreter; reference hand-outs
+                    # (@load_table/@column_value) charge nothing, same
+                    # as the naive path.
+                    if not isinstance(stmt.expr, ir.BuiltinCall) \
+                            or hb.materializes_output(stmt.expr.name):
+                        profile.record(value_nbytes(env[stmt.target]),
+                                       site=f"stmt:{stmt.target}")
+                    profile.update_peak(
+                        sum(value_nbytes(v) for v in env.values()))
             elif isinstance(item, ReturnItem):
                 raise _ReturnSignal(self._eval(item.expr, env))
             elif isinstance(item, IfItem):
@@ -303,6 +334,9 @@ class _RunState:
         if isinstance(expr, ir.BuiltinCall):
             builtin = hb.get(expr.name)
             args = [self._eval(a, env) for a in expr.args]
+            if self.profile.enabled:
+                return hb.run_profiled(builtin, args, self.eval_ctx,
+                                       self.profile)
             return builtin.run(args, self.eval_ctx)
         if isinstance(expr, ir.MethodCall):
             args = [self._eval(a, env) for a in expr.args]

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.obs import MetricsRegistry, get_tracer, global_metrics
+from repro.obs.prof import AllocationProfile, NullAllocationProfile, \
+    get_profile
 from repro.obs.tracer import NullTracer, Tracer
 
 __all__ = ["QueryContext", "ambient_context", "ensure_context"]
@@ -38,13 +40,18 @@ class QueryContext:
       process-shared pool on first parallel use);
     * ``session`` — the owning :class:`~repro.engine.EngineSession`,
       when there is one (backends use it to reach session-scoped state
-      such as the baseline plan executor).
+      such as the baseline plan executor);
+    * ``profile`` — the :class:`~repro.obs.prof.AllocationProfile`
+      materialized bytes are charged to (the no-op ``NULL_PROFILE``
+      unless profiling was requested).
     """
 
     tracer: "Tracer | NullTracer" = field(default_factory=get_tracer)
     metrics: MetricsRegistry = field(default_factory=global_metrics)
     pool: object | None = None
     session: object | None = None
+    profile: "AllocationProfile | NullAllocationProfile" = \
+        field(default_factory=get_profile)
 
     def executor(self, n_threads: int):
         """An instrumented executor with ``n_threads`` workers, or
@@ -62,9 +69,10 @@ class QueryContext:
 def ambient_context() -> QueryContext:
     """The backward-compatible context: process tracer, process metrics,
     process-shared pool.  Built fresh per call so ``set_tracer`` /
-    ``use_tracer`` swaps are honored."""
+    ``use_tracer`` (and ``set_profile``/``use_profile``) swaps are
+    honored."""
     return QueryContext(tracer=get_tracer(), metrics=global_metrics(),
-                        pool=None)
+                        pool=None, profile=get_profile())
 
 
 def ensure_context(ctx: QueryContext | None) -> QueryContext:

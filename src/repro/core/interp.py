@@ -14,7 +14,8 @@ from repro.core import builtins as hb
 from repro.core import ir
 from repro.core import types as ht
 from repro.core.context import QueryContext, ensure_context
-from repro.core.values import TableValue, Value, Vector, coerce, scalar
+from repro.core.values import (TableValue, Value, Vector, coerce, scalar,
+                               value_nbytes)
 from repro.errors import HorseRuntimeError
 
 __all__ = ["Interpreter", "run_module"]
@@ -40,6 +41,11 @@ class Interpreter:
         #: The query context naming the tracer/metrics this run reports
         #: into (the ambient process context when not given).
         self.qctx = ensure_context(qctx)
+        #: Where materialized bytes are charged (NULL_PROFILE when the
+        #: query is not being profiled; every charge site checks
+        #: ``.enabled`` first so disabled profiling costs one attribute
+        #: read per statement).
+        self.profile = self.qctx.profile
         #: Number of vector intermediates materialized (for the evaluation
         #: narrative: naive mode materializes one per statement).
         self.materialized = 0
@@ -66,6 +72,8 @@ class Interpreter:
 
     def _traced_call(self, method: ir.Method, args, span) -> Value:
         before = self.materialized
+        bytes_before = (self.profile.counters()[0]
+                        if self.profile.enabled else 0)
         try:
             return self._call(method, list(args or []))
         finally:
@@ -75,6 +83,9 @@ class Interpreter:
             metrics.counter("interp.materialized").inc(materialized)
             if span is not None:
                 span.set(materialized=materialized)
+                if self.profile.enabled:
+                    span.set(alloc_bytes=self.profile.counters()[0]
+                             - bytes_before)
 
     # -- internals ----------------------------------------------------------
 
@@ -95,11 +106,23 @@ class Interpreter:
             f"method {method.name!r} finished without returning")
 
     def _exec_body(self, body: list[ir.Stmt], env: dict[str, Value]) -> None:
+        profile = self.profile
         for stmt in body:
             if isinstance(stmt, ir.Assign):
                 env[stmt.target] = self._coerce(
                     self._eval(stmt.expr, env), stmt.type)
                 self.materialized += 1
+                if profile.enabled:
+                    # Naive-mode accounting: every assignment fully
+                    # materializes its result vector — except reference
+                    # hand-outs (@load_table/@column_value), which are
+                    # skipped identically in the compiled path.
+                    if not isinstance(stmt.expr, ir.BuiltinCall) \
+                            or hb.materializes_output(stmt.expr.name):
+                        profile.record(value_nbytes(env[stmt.target]),
+                                       site=f"interp:{stmt.target}")
+                    profile.update_peak(
+                        sum(value_nbytes(v) for v in env.values()))
             elif isinstance(stmt, ir.Return):
                 raise _ReturnSignal(self._eval(stmt.expr, env))
             elif isinstance(stmt, ir.If):
@@ -144,6 +167,9 @@ class Interpreter:
         if isinstance(expr, ir.BuiltinCall):
             builtin = hb.get(expr.name)
             args = [self._eval(a, env) for a in expr.args]
+            if self.profile.enabled:
+                return hb.run_profiled(builtin, args, self.context,
+                                       self.profile)
             return builtin.run(args, self.context)
         if isinstance(expr, ir.MethodCall):
             callee = self.module.methods.get(expr.name)

@@ -17,7 +17,7 @@ from repro.core import types as ht
 from repro.errors import HorseRuntimeError, HorseTypeError
 
 __all__ = ["Value", "Vector", "ListValue", "TableValue", "scalar",
-           "vector", "from_numpy", "coerce"]
+           "vector", "from_numpy", "coerce", "value_nbytes"]
 
 
 class Value:
@@ -89,6 +89,16 @@ class Vector(Value):
             return self
         return Vector(type_, self.data.astype(ht.numpy_dtype(type_)))
 
+    def nbytes(self) -> int:
+        """Payload size of the backing array, in bytes.
+
+        Object-dtype columns (strings, symbols) count only the pointer
+        array — a stable lower bound that is identical between the
+        naive and optimized paths, which is what the allocation
+        profiler's parity invariant needs.
+        """
+        return int(self.data.nbytes)
+
 
 class ListValue(Value):
     """An ordered list of HorseIR values (result of ``@list``)."""
@@ -114,6 +124,10 @@ class ListValue(Value):
 
     def __repr__(self) -> str:
         return f"ListValue[{len(self.items)}]"
+
+    def nbytes(self) -> int:
+        """Total payload bytes across the list's items."""
+        return sum(value_nbytes(item) for item in self.items)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ListValue):
@@ -192,6 +206,10 @@ class TableValue(Value):
 
     __hash__ = None
 
+    def nbytes(self) -> int:
+        """Total payload bytes across the table's columns."""
+        return sum(col.nbytes() for col in self._columns.values())
+
     def head(self, n: int = 5) -> "TableValue":
         """The first ``n`` rows, as a new table."""
         return TableValue(
@@ -252,6 +270,22 @@ def from_numpy(array: np.ndarray, *, symbolic: bool = False) -> Vector:
     if array.dtype.kind in ("U", "S"):
         array = array.astype(object)
     return Vector(type_, array)
+
+
+def value_nbytes(value) -> int:
+    """Payload bytes of any runtime value; 0 for non-values.
+
+    The allocation profiler's single sizing rule: vectors report their
+    NumPy buffer, containers sum their children, and anything else
+    (``None``, plan metadata, Python scalars in opaque slots) costs
+    nothing.
+    """
+    nbytes = getattr(value, "nbytes", None)
+    if callable(nbytes):
+        return nbytes()
+    if isinstance(nbytes, (int, np.integer)):  # raw ndarray
+        return int(nbytes)
+    return 0
 
 
 def coerce(value: Value, type_: ht.HorseType) -> Value:

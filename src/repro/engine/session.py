@@ -40,7 +40,8 @@ from repro.engine.executor import PlanExecutor
 from repro.engine.storage import Database
 from repro.matlang.frontend import MatlabProgram, matlab_to_module
 from repro.obs import (
-    NULL_TRACER, MetricsRegistry, Tracer, get_tracer, global_metrics,
+    BYTE_BUCKETS, NULL_PROFILE, NULL_TRACER, AllocationProfile,
+    MetricsRegistry, Tracer, get_profile, get_tracer, global_metrics,
 )
 from repro.sql.parser import parse_sql
 from repro.sql.plan import plan_to_json
@@ -135,7 +136,8 @@ class EngineSession:
                  pool: ExecutorPool | None = None,
                  backends: BackendRegistry | None = None,
                  default_backend: str = DEFAULT_BACKEND,
-                 max_workers: int | None = None):
+                 max_workers: int | None = None,
+                 profile: AllocationProfile | None = None):
         self.db = db if db is not None else Database()
         self.udfs = udfs if udfs is not None else UDFRegistry()
         self.metrics = (metrics if metrics is not None
@@ -145,6 +147,11 @@ class EngineSession:
         #: ``use_tracer``/``set_tracer`` swaps are honored, exactly as
         #: the pre-session facades behaved.
         self._ambient_tracer = False
+        #: The session's allocation profile (NULL_PROFILE unless one is
+        #: passed); ambient sessions instead resolve ``get_profile()``
+        #: per query, mirroring the tracer.
+        self._profile = profile
+        self._ambient_profile = False
         if pool is _SHARED_POOL:
             self._pool = None       # resolve shared_pool() per query
             self._owns_pool = False
@@ -183,6 +190,7 @@ class EngineSession:
                       backends=backends,
                       default_backend=default_backend)
         session._ambient_tracer = True
+        session._ambient_profile = True
         return session
 
     # -- context --------------------------------------------------------------
@@ -192,6 +200,13 @@ class EngineSession:
         if self._ambient_tracer:
             return get_tracer()
         return self._tracer if self._tracer is not None else NULL_TRACER
+
+    @property
+    def profile(self):
+        if self._ambient_profile:
+            return get_profile()
+        return (self._profile if self._profile is not None
+                else NULL_PROFILE)
 
     @property
     def pool(self) -> ExecutorPool | None:
@@ -204,7 +219,8 @@ class EngineSession:
         metrics, and pool — the object threaded explicitly through
         parse → plan → translate → compile → execute."""
         return QueryContext(tracer=self.tracer, metrics=self.metrics,
-                            pool=self._pool, session=self)
+                            pool=self._pool, session=self,
+                            profile=self.profile)
 
     def _ctx(self, ctx: QueryContext | None) -> QueryContext:
         return ctx if ctx is not None else self.context()
@@ -330,14 +346,30 @@ class EngineSession:
         """Prepare (cache permitting) and execute ``sql``."""
         ctx = self._ctx(ctx)
         backend_label = backend or self.default_backend
+        profile = ctx.profile
+        if profile.enabled:
+            bytes_before, inter_before = profile.counters()
         start = time.perf_counter()
         with ctx.tracer.span("query", system="horsepower", sql=sql,
                              opt_level=opt_level, backend=backend_label,
-                             n_threads=n_threads):
+                             n_threads=n_threads) as span:
             prepared = self.prepare(sql, opt_level, backend=backend,
                                     use_cache=use_cache, ctx=ctx)
             result = prepared.query.run(n_threads=n_threads, ctx=ctx,
                                         **kwargs)
+            if profile.enabled:
+                bytes_after, inter_after = profile.counters()
+                alloc = bytes_after - bytes_before
+                span.set(alloc_bytes=alloc,
+                         peak_bytes=profile.peak_bytes)
+                metrics = ctx.metrics
+                metrics.counter("prof.bytes_allocated").inc(alloc)
+                metrics.counter("prof.intermediates_materialized").inc(
+                    inter_after - inter_before)
+                metrics.gauge("prof.peak_bytes").set_max(
+                    profile.peak_bytes)
+                metrics.histogram("prof.query_bytes",
+                                  bounds=BYTE_BUCKETS).observe(alloc)
         self._metric_queries.inc()
         self._metric_query_seconds.observe(time.perf_counter() - start)
         return result

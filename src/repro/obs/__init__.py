@@ -11,18 +11,30 @@ metric names):
   gauges and histograms every subsystem reports into (plan cache,
   executor pool, kernel executor, baseline operators);
 * :mod:`repro.obs.render` — ``EXPLAIN ANALYZE`` text, Chrome-trace JSON
-  (Perfetto-loadable) and the flat metrics dump.
+  (Perfetto-loadable) and the flat metrics dump;
+* :mod:`repro.obs.prof` — the allocation/materialization profiler
+  (bytes charged per statement/builtin/kernel, peak footprint, and the
+  paper-style ``fusion_savings`` naive-vs-opt report); off by default
+  via a near-free no-op profile.
 """
 
-from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
-                               global_metrics)
+from repro.obs.metrics import (BYTE_BUCKETS, Counter, Gauge, Histogram,
+                               MetricsRegistry, global_metrics)
+from repro.obs.prof import (NULL_PROFILE, AllocationProfile, FusionSavings,
+                            NullAllocationProfile, format_fusion_savings,
+                            fusion_savings, get_profile, set_profile,
+                            use_profile)
 from repro.obs.render import (chrome_trace, chrome_trace_json,
                               phase_coverage, render_explain_analyze)
 from repro.obs.tracer import (NULL_TRACER, NullTracer, Span, Tracer,
                               get_tracer, set_tracer, use_tracer)
 
 __all__ = [
-    "Counter", "Gauge", "Histogram", "MetricsRegistry", "global_metrics",
+    "BYTE_BUCKETS", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "global_metrics",
+    "NULL_PROFILE", "AllocationProfile", "FusionSavings",
+    "NullAllocationProfile", "format_fusion_savings", "fusion_savings",
+    "get_profile", "set_profile", "use_profile",
     "chrome_trace", "chrome_trace_json", "phase_coverage",
     "render_explain_analyze",
     "NULL_TRACER", "NullTracer", "Span", "Tracer", "get_tracer",

@@ -7,8 +7,12 @@ time histogram) and the baseline operators (rows scanned/produced):
 
 * :class:`Counter` — monotonically increasing total (int or float);
 * :class:`Gauge` — last-set value (pool size, peak concurrency);
-* :class:`Histogram` — count/sum/min/max plus log-scale bucket counts,
-  sized for kernel wall times (1µs – 10s).
+* :class:`Histogram` — count/sum/min/max plus log-scale bucket counts.
+  Bounds are a per-instrument constructor argument: the default
+  :data:`DEFAULT_BUCKETS` is sized for kernel wall times (1µs – 10s),
+  and byte-valued histograms (the allocation profiler's
+  ``prof.query_bytes``) pass :data:`BYTE_BUCKETS` (1KiB – 1GiB) so
+  observations don't all land in one overflow bucket.
 
 All instruments are thread-safe.  ``global_metrics()`` returns the one
 process-wide registry; instruments are created on first use and keep
@@ -25,10 +29,17 @@ from __future__ import annotations
 import threading
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "global_metrics"]
+           "global_metrics", "DEFAULT_BUCKETS", "BYTE_BUCKETS"]
 
 #: Default histogram bucket upper bounds, in seconds.
 DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+#: Bucket upper bounds for byte-valued histograms: 1KiB … 1GiB in
+#: powers of 8, plus the KiB/MiB/GiB decades in between.  Values above
+#: the last bound land in no bucket (same overflow convention as
+#: DEFAULT_BUCKETS); count/sum/min/max still record them.
+BYTE_BUCKETS = (1 << 10, 1 << 13, 1 << 16, 1 << 20, 1 << 23,
+                1 << 26, 1 << 30)
 
 
 class Counter:

@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import os
 
+from repro.obs.prof import format_bytes
 from repro.obs.tracer import Span
 
 __all__ = ["render_explain_analyze", "chrome_trace", "chrome_trace_json",
@@ -30,6 +31,13 @@ __all__ = ["render_explain_analyze", "chrome_trace", "chrome_trace_json",
 _UNSTABLE_ATTRS = ("error",)
 
 _MAX_ATTR_LEN = 48
+
+#: Byte-valued span attributes recorded by the allocation profiler;
+#: rendered humanized (``alloc=1.2MiB``) outside the bracketed attr
+#: list's ``key=value`` form.  These attributes exist only when
+#: profiling was on, so default ``EXPLAIN ANALYZE`` output (and the PR 2
+#: golden files) are byte-identical with the profiler off.
+_BYTE_ATTRS = {"alloc_bytes": "alloc", "peak_bytes": "peak"}
 
 
 def _format_attr(value) -> str:
@@ -46,8 +54,13 @@ def _format_attr(value) -> str:
 
 
 def _attr_suffix(span: Span) -> str:
-    parts = [f"{key}={_format_attr(value)}"
-             for key, value in span.attrs.items()]
+    parts = []
+    for key, value in span.attrs.items():
+        label = _BYTE_ATTRS.get(key)
+        if label is not None:
+            parts.append(f"{label}={format_bytes(value)}")
+        else:
+            parts.append(f"{key}={_format_attr(value)}")
     return f"  [{' '.join(parts)}]" if parts else ""
 
 
@@ -102,14 +115,24 @@ def chrome_trace(spans: list[Span]) -> dict:
 
     Each span becomes one complete event: ``ph`` (phase type) ``"X"``,
     ``ts``/``dur`` in microseconds, ``tid`` the OS thread that ran the
-    span — so pool workers show up as separate tracks in Perfetto."""
+    span — so pool workers show up as separate tracks in Perfetto.
+
+    Spans carrying profiler ``alloc_bytes`` additionally emit counter
+    (``"ph": "C"``) samples on an ``allocated bytes`` track — a running
+    memory total alongside the timing view.  Each sample adds the
+    span's *self* allocation (its ``alloc_bytes`` minus what nested
+    profiled spans already account for — a query span's total includes
+    its kernels'), so the track's final value equals the profile's
+    ``bytes_allocated``.  With profiling off no span has the attribute
+    and the trace is exactly one event per span, as before."""
     all_spans: list[Span] = []
     for span in spans:
         all_spans.extend(span.walk())
     base = min((s.start for s in all_spans), default=0.0)
     pid = os.getpid()
     events = []
-    for span in all_spans:
+    alloc_running = 0
+    for span in sorted(all_spans, key=lambda s: s.start):
         events.append({
             "name": span.name,
             "cat": "repro",
@@ -120,7 +143,33 @@ def chrome_trace(spans: list[Span]) -> dict:
             "tid": span.thread_id,
             "args": {key: value for key, value in span.attrs.items()},
         })
+        alloc = span.attrs.get("alloc_bytes")
+        if alloc is not None:
+            alloc_running += max(alloc - _nested_alloc(span), 0)
+            events.append({
+                "name": "allocated bytes",
+                "cat": "repro",
+                "ph": "C",
+                # Sampled at span end: the span's charge is complete.
+                "ts": (span.start - base + span.seconds) * 1e6,
+                "pid": pid,
+                "tid": span.thread_id,
+                "args": {"allocated": alloc_running},
+            })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _nested_alloc(span: Span) -> float:
+    """Bytes the nearest profiled descendants of ``span`` already
+    charged (their own nested charges included in their attr)."""
+    total = 0
+    for child in span.children:
+        alloc = child.attrs.get("alloc_bytes")
+        if alloc is not None:
+            total += alloc
+        else:
+            total += _nested_alloc(child)
+    return total
 
 
 def chrome_trace_json(spans: list[Span], *, indent: int | None = None

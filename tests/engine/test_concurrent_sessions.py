@@ -15,7 +15,7 @@ import pytest
 
 from repro.engine import EngineSession
 from repro.engine.storage import Database
-from repro.obs import Tracer
+from repro.obs import AllocationProfile, Tracer
 
 N_SESSIONS = 4
 N_QUERIES = 8
@@ -114,6 +114,66 @@ class TestConcurrentSessions:
             assert len(roots) == N_QUERIES * 2
             assert all(root.name == "query" for root in roots)
             assert all(root.end >= root.start > 0 for root in roots)
+
+        for session in sessions.values():
+            session.close()
+
+    def test_allocation_profiles_stay_isolated_across_sessions(self):
+        """Each session's AllocationProfile charges exactly that
+        session's queries: the threaded byte totals match a serial
+        reference bit for bit, and the ambient NULL_PROFILE stays
+        untouched."""
+        from repro.obs import get_profile
+
+        def profile_of(seed: int, serial: bool) -> AllocationProfile:
+            profile = AllocationProfile()
+            with EngineSession(make_catalog(seed),
+                               profile=profile) as session:
+                run_plan(session, seed)
+            return profile
+
+        serial = {seed: profile_of(seed, True)
+                  for seed in range(N_SESSIONS)}
+
+        profiles = {seed: AllocationProfile()
+                    for seed in range(N_SESSIONS)}
+        sessions = {seed: EngineSession(make_catalog(seed),
+                                        profile=profiles[seed])
+                    for seed in range(N_SESSIONS)}
+        errors = []
+        barrier = threading.Barrier(N_SESSIONS)
+
+        def work(seed):
+            try:
+                barrier.wait()
+                run_plan(sessions[seed], seed)
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append((seed, exc))
+
+        threads = [threading.Thread(target=work, args=(seed,))
+                   for seed in sessions]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+
+        for seed in range(N_SESSIONS):
+            threaded, reference = profiles[seed], serial[seed]
+            assert threaded.bytes_allocated > 0
+            assert threaded.bytes_allocated == reference.bytes_allocated
+            assert (threaded.intermediates_materialized
+                    == reference.intermediates_materialized)
+            assert threaded.peak_bytes == reference.peak_bytes
+            assert threaded.sites == reference.sites
+            # prof.* metrics landed in the owning session's registry.
+            counts = sessions[seed].metrics.snapshot()
+            assert (counts["prof.bytes_allocated"]
+                    == threaded.bytes_allocated)
+
+        # The ambient slot never saw any of it.
+        assert get_profile().bytes_allocated == 0
+        assert not get_profile().enabled
 
         for session in sessions.values():
             session.close()

@@ -16,6 +16,7 @@ import pkgutil
 import re
 import types
 
+from repro.obs.prof import NullAllocationProfile
 from repro.obs.tracer import NullTracer
 
 #: Modules whose globals are audited: the facade package, the
@@ -41,16 +42,21 @@ ALLOWLIST = {
     # The process-shared executor pool for code outside any session.
     ("repro.core.execpool", "_shared"),
     ("repro.core.execpool", "_shared_lock"),
+    # The ambient allocation-profile slot (mirrors the tracer slot):
+    # NULL_PROFILE until the CLI's --profile or use_profile installs a
+    # real profile process-wide; isolated sessions never read it.
+    ("repro.obs.prof", "_profile"),
 }
 
 #: Types that cannot hold cross-query mutable state.  ``NullTracer``
-#: is a stateless no-op singleton; ``__future__._Feature`` is the
-#: ``from __future__ import annotations`` artifact.
+#: and ``NullAllocationProfile`` are stateless no-op singletons;
+#: ``__future__._Feature`` is the ``from __future__ import
+#: annotations`` artifact.
 IMMUTABLE_TYPES = (str, bytes, int, float, bool, complex, tuple,
                    frozenset, type(None), types.ModuleType,
                    types.FunctionType, types.BuiltinFunctionType,
                    type, re.Pattern, logging.Logger, NullTracer,
-                   __future__._Feature)
+                   NullAllocationProfile, __future__._Feature)
 
 
 def audited_modules():

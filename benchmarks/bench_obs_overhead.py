@@ -21,6 +21,13 @@ form is a single ``if profile.enabled:`` branch on the
 events a profiled Q6 run records, and its disabled overhead must also
 stay **<2%** of the warm runtime.
 
+The query governor (PR 6) follows the same pattern a third time: every
+cancellation checkpoint (chunk / statement / plan item / optimizer
+pass) is one ``if limits.enabled:`` branch on the ``NULL_LIMITS``
+singleton when no timeout or budget is set, the site count is
+``limits.checks`` after one governed run with an unreachable deadline,
+and the disabled overhead must stay **<2%** of warm Q6.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py
@@ -39,6 +46,7 @@ if _REPO_ROOT not in sys.path:
     sys.path.insert(0, _REPO_ROOT)
 
 from benchmarks.harness import make_tpch_systems, time_callable  # noqa: E402
+from repro.core.limits import NULL_LIMITS  # noqa: E402
 from repro.obs import (NULL_PROFILE, NULL_TRACER, AllocationProfile,  # noqa: E402
                        Tracer, use_profile, use_tracer)
 from repro.workloads.tpch_queries import PLAIN_QUERIES  # noqa: E402
@@ -69,6 +77,32 @@ def measure_null_profile_cost(loops: int = _NULL_SPAN_LOOPS) -> float:
     elapsed = time.perf_counter() - start
     assert sink == 0
     return elapsed / loops
+
+
+def measure_null_limits_cost(loops: int = _NULL_SPAN_LOOPS) -> float:
+    """Seconds per disabled governor checkpoint (the ``if
+    limits.enabled:`` branch every checkpoint site pays when the query
+    is ungoverned)."""
+    limits = NULL_LIMITS
+    sink = 0
+    start = time.perf_counter()
+    for _ in range(loops):
+        if limits.enabled:
+            sink += 1  # pragma: no cover - NULL_LIMITS is disabled
+    elapsed = time.perf_counter() - start
+    assert sink == 0
+    return elapsed / loops
+
+
+def count_checkpoints_per_run(hp, sql: str) -> int:
+    """Cancellation checkpoints one warm, governed Q6 run passes
+    through — measured by granting a deadline far in the future and
+    reading ``limits.checks`` back."""
+    limits = hp.governor.grant(timeout=3600.0)
+    ctx = hp.session.context()
+    ctx.limits = limits
+    hp.run_sql(sql, ctx=ctx)
+    return limits.checks
 
 
 def count_spans_per_run(hp, sql: str) -> int:
@@ -105,8 +139,12 @@ def main() -> int:
     prof_site_cost = measure_null_profile_cost()
     charge_sites = count_charge_sites_per_run(hp, sql)
 
+    gov_site_cost = measure_null_limits_cost()
+    checkpoints = count_checkpoints_per_run(hp, sql)
+
     overhead = sites * site_cost / disabled.seconds
     prof_overhead = charge_sites * prof_site_cost / disabled.seconds
+    gov_overhead = checkpoints * gov_site_cost / disabled.seconds
     print("# Disabled-tracer overhead on TPC-H Q6 (warm, cached plan)")
     print(f"warm Q6 runtime (tracing off) : {disabled.millis:9.3f} ms")
     print(f"warm Q6 runtime (tracing on)  : {enabled.millis:9.3f} ms")
@@ -121,12 +159,22 @@ def main() -> int:
           f" ns")
     print(f"disabled overhead             : {prof_overhead:9.4%} "
           f"(bar: <{OVERHEAD_BAR:.0%})")
+    print()
+    print("# Disabled-governor overhead on TPC-H Q6 (warm, cached plan)")
+    print(f"checkpoints per governed run  : {checkpoints:9d}")
+    print(f"cost per disabled check       : {gov_site_cost * 1e9:9.1f}"
+          f" ns")
+    print(f"disabled overhead             : {gov_overhead:9.4%} "
+          f"(bar: <{OVERHEAD_BAR:.0%})")
     failed = False
     if overhead >= OVERHEAD_BAR:
         print("FAIL: disabled tracing is not near-free")
         failed = True
     if prof_overhead >= OVERHEAD_BAR:
         print("FAIL: disabled profiling is not near-free")
+        failed = True
+    if gov_overhead >= OVERHEAD_BAR:
+        print("FAIL: disabled governor checkpoints are not near-free")
         failed = True
     if failed:
         return 1

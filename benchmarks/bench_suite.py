@@ -57,7 +57,8 @@ from repro.workloads.tpch_queries import (PLAIN_QUERIES, UDF_QUERIES,
                                           register_tpch_udfs)
 
 SCHEMA_VERSION = 1
-DEFAULT_OUT = "BENCH_PR4.json"
+DEFAULT_OUT = "BENCH_PR6.json"
+LABEL = "PR6"
 BYTES_REGRESSION_BAR = 0.10   # blocking
 TIME_REGRESSION_BAR = 0.15    # warn (blocking with --strict-time)
 WARM_ROUNDS = 3
@@ -170,9 +171,12 @@ def run_suite() -> dict:
         print(format_fusion_savings(delta, title=f"{name} fusion "
                                                  f"savings"))
 
+    import time
+
     return {
         "schema_version": SCHEMA_VERSION,
-        "label": "PR4",
+        "label": LABEL,
+        "generated_at": time.time(),
         "generated_by": "benchmarks/bench_suite.py",
         "scale": {
             "bench_scale": bench_scale(),
@@ -185,22 +189,46 @@ def run_suite() -> dict:
     }
 
 
+def _baseline_key(path: str) -> tuple:
+    """Ordering key for a candidate baseline, from *embedded* metadata.
+
+    File mtimes are useless here: a fresh ``git clone``/checkout stamps
+    every ``BENCH_*.json`` with checkout time, so "newest mtime" picked
+    an arbitrary file on CI.  Instead the PR tag recorded *inside* the
+    JSON (``label``, e.g. ``"PR4"``) orders candidates, the embedded
+    run timestamp (``generated_at``) breaks ties between files with the
+    same tag, and the filename is the final deterministic tiebreak.
+    Files whose label carries no PR number (or that fail to parse) rank
+    below every numbered one."""
+    number = -1
+    generated_at = 0.0
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+        match = re.search(r"(\d+)", str(data.get("label", "")))
+        if match:
+            number = int(match.group(1))
+        generated_at = float(data.get("generated_at", 0.0))
+    except (OSError, ValueError):
+        pass
+    if number < 0:
+        match = re.search(r"BENCH_PR(\d+)\.json$",
+                          os.path.basename(path))
+        if match:
+            number = int(match.group(1))
+    return (number, generated_at, os.path.basename(path))
+
+
 def find_baseline(exclude: str | None) -> str | None:
-    """The newest prior ``BENCH_*.json`` at the repo root: highest PR
-    number when the name encodes one, newest mtime otherwise."""
+    """The newest prior ``BENCH_*.json`` at the repo root, ordered by
+    the PR tag / run timestamp embedded in each file (never mtime)."""
     pattern = os.path.join(repo_root(), "BENCH_*.json")
     candidates = [path for path in glob.glob(pattern)
                   if exclude is None
                   or os.path.abspath(path) != os.path.abspath(exclude)]
     if not candidates:
         return None
-
-    def sort_key(path: str):
-        match = re.search(r"BENCH_PR(\d+)\.json$", os.path.basename(path))
-        number = int(match.group(1)) if match else -1
-        return (number, os.path.getmtime(path))
-
-    return max(candidates, key=sort_key)
+    return max(candidates, key=_baseline_key)
 
 
 def compare(current: dict, baseline_path: str,

@@ -21,6 +21,7 @@ import json
 import sys
 
 from repro.core import types as ht
+from repro.errors import GovernorError
 
 _TYPE_NAMES = {
     "bool": ht.BOOL, "i64": ht.I64, "i32": ht.I32, "f64": ht.F64,
@@ -59,6 +60,33 @@ def _load_tables(args) -> "Database":
     return db
 
 
+_BYTE_SUFFIXES = {"": 1, "k": 1 << 10, "kb": 1 << 10, "kib": 1 << 10,
+                  "m": 1 << 20, "mb": 1 << 20, "mib": 1 << 20,
+                  "g": 1 << 30, "gb": 1 << 30, "gib": 1 << 30}
+
+
+def _parse_bytes(spec: str) -> int:
+    """``--memory-budget`` values: plain bytes or ``64k``/``16MiB``."""
+    text = spec.strip().lower()
+    for suffix in sorted(_BYTE_SUFFIXES, key=len, reverse=True):
+        if suffix and text.endswith(suffix):
+            number = text[:-len(suffix)]
+            break
+    else:
+        number, suffix = text, ""
+    try:
+        value = float(number)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid byte size {spec!r} (use e.g. 1048576, 64k, "
+            f"16MiB)") from None
+    result = int(value * _BYTE_SUFFIXES[suffix])
+    if result <= 0:
+        raise argparse.ArgumentTypeError(
+            f"byte size must be positive, got {spec!r}")
+    return result
+
+
 def _print_table(result, limit: int) -> None:
     if hasattr(result, "columns"):  # TableValue
         names = result.column_names
@@ -94,6 +122,14 @@ def _cmd_run_sql(args) -> int:
                 f"unknown backend {backend!r}; registered backends: "
                 f"{known} (see `python -m repro list-backends`)")
 
+    governed = (args.timeout is not None
+                or args.memory_budget is not None
+                or args.max_concurrent is not None)
+    if governed and args.system == "monetdb":
+        raise SystemExit(
+            "--timeout/--memory-budget/--max-concurrent govern the "
+            "HorsePower engine; the monetdb baseline runs ungoverned")
+
     db = _load_tables(args)
     sql = args.query if args.query else sys.stdin.read()
     repeat = max(1, args.repeat)
@@ -118,11 +154,20 @@ def _cmd_run_sql(args) -> int:
                 result = mdb.run_sql(sql, n_threads=args.threads)
         else:
             hp = HorsePowerSystem(db)
+            if args.max_concurrent is not None:
+                hp.governor.configure(max_concurrent=args.max_concurrent)
             use_cache = not args.no_cache
-            for _ in range(repeat):
-                result = hp.run_sql(sql, n_threads=args.threads,
-                                    use_cache=use_cache,
-                                    backend=backend or "python")
+            try:
+                for _ in range(repeat):
+                    result = hp.run_sql(sql, n_threads=args.threads,
+                                        use_cache=use_cache,
+                                        backend=backend or "python",
+                                        timeout=args.timeout,
+                                        memory_budget=args.memory_budget)
+            except GovernorError as exc:
+                print(f"error: {type(exc).__name__}: {exc}",
+                      file=sys.stderr)
+                return 2
             if args.cache_stats:
                 print(f"-- plan cache: {hp.cache_stats.summary()} "
                       f"entries={len(hp.plan_cache)}")
@@ -315,6 +360,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the traced span tree (per-phase "
                               "and per-kernel times, row counts) after "
                               "the result")
+    run_sql.add_argument("--timeout", type=float, metavar="SECONDS",
+                         help="cancel the query cooperatively past this "
+                              "deadline (exits 2 with QueryTimeout)")
+    run_sql.add_argument("--memory-budget", type=_parse_bytes,
+                         metavar="BYTES",
+                         help="fail the query once it materializes more "
+                              "than this many bytes (accepts 64k / "
+                              "16MiB suffixes; exits 2 with "
+                              "MemoryBudgetExceeded)")
+    run_sql.add_argument("--max-concurrent", type=int, metavar="N",
+                         help="admission-control limit on concurrent "
+                              "queries in this process")
     run_sql.add_argument("--metrics-json", metavar="PATH",
                          help="write runtime metrics (plan cache, pool, "
                               "kernels, rows) as flat JSON")

@@ -94,7 +94,15 @@ def _run_kernel(kernel: CompiledKernel, inputs: list[Vector],
     if n == 0:
         return _empty_outputs(kernel, arrays)
 
+    limits = ctx.limits
+
     if n <= chunk_size:
+        # The single-chunk fast path is still one chunk of work: count
+        # it (kernel.chunks == chunks actually executed, fast path or
+        # not) and give it the same cancellation checkpoint.
+        ctx.metrics.counter("kernel.chunks").inc()
+        if limits.enabled:
+            limits.check("chunk")
         results = list(kernel.fn(*arrays))
         for index, (name, role) in enumerate(kernel.outputs):
             if role != "vector" and results[index] is None:
@@ -112,6 +120,8 @@ def _run_kernel(kernel: CompiledKernel, inputs: list[Vector],
     parent = tracer.current() if tracer.enabled else None
 
     def run_chunk(bound: tuple[int, int]):
+        if limits.enabled:
+            limits.check("chunk")
         lo, hi = bound
         sliced = [arr[lo:hi] if stream and len(arr) == n else arr
                   for arr, stream in zip(arrays, kernel.streamed)]

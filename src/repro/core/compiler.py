@@ -212,6 +212,10 @@ class _RunState:
         #: Allocation accounting for this run (NULL_PROFILE when the
         #: query is not profiled; sites check ``.enabled`` first).
         self.profile = ctx.profile
+        #: Cooperative cancellation surface (NULL_LIMITS when
+        #: ungoverned), checked once per plan item; chunked kernels add
+        #: a finer per-chunk checkpoint in the kernel executor.
+        self.limits = ctx.limits
 
     def call(self, method_name: str, args: list[Value]) -> Value:
         try:
@@ -239,7 +243,10 @@ class _RunState:
 
     def _exec_plan(self, plan: list, env: dict[str, Value]) -> None:
         profile = self.profile
+        limits = self.limits
         for item in plan:
+            if limits.enabled:
+                limits.check("plan-item")
             if isinstance(item, _KernelItem):
                 self._exec_kernel_item(item, env)
                 if profile.enabled:
@@ -386,7 +393,8 @@ def compile_module(module: ir.Module, opt_level: str = "opt",
             opt_start = time.perf_counter()
             with tracer.span("optimize"):
                 module, stats = optimize(module, entry=entry,
-                                         tracer=tracer)
+                                         tracer=tracer,
+                                         limits=ctx.limits)
                 verify_module(module)
             optimize_seconds = time.perf_counter() - opt_start
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.limits import NULL_LIMITS, NullQueryLimits, QueryLimits
 from repro.obs import MetricsRegistry, get_tracer, global_metrics
 from repro.obs.prof import AllocationProfile, NullAllocationProfile, \
     get_profile
@@ -43,7 +44,12 @@ class QueryContext:
       such as the baseline plan executor);
     * ``profile`` — the :class:`~repro.obs.prof.AllocationProfile`
       materialized bytes are charged to (the no-op ``NULL_PROFILE``
-      unless profiling was requested).
+      unless profiling was requested);
+    * ``limits`` — the :class:`~repro.core.limits.QueryLimits` the
+      execution layers checkpoint against (deadline, memory budget,
+      cooperative cancellation); the no-op ``NULL_LIMITS`` unless the
+      session's :class:`~repro.engine.governor.QueryGovernor` granted
+      limits for this query.
     """
 
     tracer: "Tracer | NullTracer" = field(default_factory=get_tracer)
@@ -52,6 +58,7 @@ class QueryContext:
     session: object | None = None
     profile: "AllocationProfile | NullAllocationProfile" = \
         field(default_factory=get_profile)
+    limits: "QueryLimits | NullQueryLimits" = NULL_LIMITS
 
     def executor(self, n_threads: int):
         """An instrumented executor with ``n_threads`` workers, or

@@ -61,8 +61,8 @@ class _PoolTelemetry:
     :class:`InstrumentedExecutor` proxies it hands out."""
 
     __slots__ = ("size", "peak_tasks", "submitted", "completed",
-                 "task_seconds", "wait_warnings", "lock",
-                 "concurrent_tasks", "wait_warned")
+                 "task_seconds", "wait_warnings", "oversubscribed",
+                 "lock", "concurrent_tasks", "wait_warned")
 
     def __init__(self, metrics: MetricsRegistry):
         self.size = metrics.gauge("pool.size")
@@ -71,6 +71,7 @@ class _PoolTelemetry:
         self.completed = metrics.counter("pool.tasks_completed")
         self.task_seconds = metrics.counter("pool.task_seconds_total")
         self.wait_warnings = metrics.counter("pool.wait_warnings")
+        self.oversubscribed = metrics.counter("pool.oversubscribed")
         self.lock = threading.Lock()
         self.concurrent_tasks = 0
         self.wait_warned = False
@@ -168,17 +169,25 @@ class ExecutorPool:
         self.stats = PoolStats()
 
     def get(self, n_threads: int) -> InstrumentedExecutor:
-        """An executor with at least ``n_threads`` workers."""
+        """An executor with at least ``min(n_threads, max_workers)``
+        workers.  ``max_workers`` is a hard cap: a request beyond it is
+        clamped (the caller's chunks share the capped workers) and
+        counted in ``pool.oversubscribed`` — the old behavior of quietly
+        growing past the cap defeated the point of sizing a session's
+        pool."""
         if n_threads < 1:
             raise ValueError(f"n_threads must be >= 1, got {n_threads}")
         with self._lock:
             if self._closed:
                 raise RuntimeError("ExecutorPool is closed")
             self.stats.acquisitions += 1
-            if self._pool is None or self._workers < n_threads:
-                want = max(n_threads, os.cpu_count() or 1)
-                if self._cap is not None:
-                    want = min(max(want, 1), max(self._cap, n_threads))
+            want = max(n_threads, os.cpu_count() or 1)
+            if self._cap is not None:
+                cap = max(self._cap, 1)
+                if n_threads > cap:
+                    self._telemetry.oversubscribed.inc()
+                want = min(want, cap)
+            if self._pool is None or self._workers < want:
                 old = self._pool
                 self._pool = ThreadPoolExecutor(
                     max_workers=want,

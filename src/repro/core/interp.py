@@ -46,6 +46,10 @@ class Interpreter:
         #: ``.enabled`` first so disabled profiling costs one attribute
         #: read per statement).
         self.profile = self.qctx.profile
+        #: The query's cooperative-cancellation surface (NULL_LIMITS
+        #: when ungoverned); checked once per executed statement so a
+        #: deadline cancels interpreted runs at statement granularity.
+        self.limits = self.qctx.limits
         #: Number of vector intermediates materialized (for the evaluation
         #: narrative: naive mode materializes one per statement).
         self.materialized = 0
@@ -107,7 +111,10 @@ class Interpreter:
 
     def _exec_body(self, body: list[ir.Stmt], env: dict[str, Value]) -> None:
         profile = self.profile
+        limits = self.limits
         for stmt in body:
+            if limits.enabled:
+                limits.check("statement")
             if isinstance(stmt, ir.Assign):
                 env[stmt.target] = self._coerce(
                     self._eval(stmt.expr, env), stmt.type)

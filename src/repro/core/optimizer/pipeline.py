@@ -20,6 +20,7 @@ from repro.core.optimizer.dce import eliminate_dead_code
 from repro.core.optimizer.inline import inline_methods
 from repro.core.optimizer.patterns import (apply_patterns,
                                             forward_list_items)
+from repro.core.limits import NULL_LIMITS
 from repro.obs import get_tracer
 
 __all__ = ["optimize", "OptimizeStats"]
@@ -49,18 +50,25 @@ _ROUND_PASSES = (
 
 def optimize(module: ir.Module, *, entry: str | None = None,
              enable_patterns: bool = True,
-             tracer=None) -> tuple[ir.Module, OptimizeStats]:
+             tracer=None, limits=None) -> tuple[ir.Module, OptimizeStats]:
     """Optimize ``module``; returns a new module and pass statistics.
 
     ``tracer`` names where per-pass spans go; ``None`` falls back to the
     process-ambient tracer (callers inside a session pass
-    ``ctx.tracer``)."""
+    ``ctx.tracer``).  ``limits`` is the query's
+    :class:`~repro.core.limits.QueryLimits` checkpoint surface, checked
+    once per pass so a deadline can cancel a pathological optimization
+    (``None`` means ungoverned)."""
     stats = OptimizeStats()
     if tracer is None:
         tracer = get_tracer()
+    if limits is None:
+        limits = NULL_LIMITS
     start = time.perf_counter()
 
     before = len(module.methods)
+    if limits.enabled:
+        limits.check("pass:inline")
     with tracer.span("pass:inline", methods_before=before):
         module = inline_methods(module, entry=entry)
     stats.inlined_methods_removed = before - len(module.methods)
@@ -72,7 +80,7 @@ def optimize(module: ir.Module, *, entry: str | None = None,
         for method in module.methods.values():
             for name, pass_fn in _ROUND_PASSES:
                 if _run_pass(stats, tracer, name, pass_fn, method,
-                             round_index):
+                             round_index, limits=limits):
                     changed = True
         stats.rounds = round_index + 1
         if not changed:
@@ -80,7 +88,8 @@ def optimize(module: ir.Module, *, entry: str | None = None,
 
     if enable_patterns:
         for method in module.methods.values():
-            _run_pass(stats, tracer, "patterns", apply_patterns, method)
+            _run_pass(stats, tracer, "patterns", apply_patterns, method,
+                      limits=limits)
         # Pattern rewrites can orphan mask definitions; sweep once more.
         for method in module.methods.values():
             eliminate_dead_code(method)
@@ -90,10 +99,13 @@ def optimize(module: ir.Module, *, entry: str | None = None,
 
 
 def _run_pass(stats: OptimizeStats, tracer, name: str, pass_fn,
-              method: ir.Method, round_index: int | None = None) -> bool:
+              method: ir.Method, round_index: int | None = None,
+              limits=NULL_LIMITS) -> bool:
     """Run one pass over one method, noting it in ``stats`` and (when
     tracing) recording a per-pass span with before/after statement
-    counts."""
+    counts.  Each pass is a cooperative cancellation checkpoint."""
+    if limits.enabled:
+        limits.check(f"pass:{name}")
     if not tracer.enabled:
         changed = pass_fn(method)
     else:

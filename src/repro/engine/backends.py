@@ -192,7 +192,8 @@ class InterpBackend(_HorseIRBackend):
             if unit.opt_level == "opt":
                 opt_start = time.perf_counter()
                 with ctx.tracer.span("optimize"):
-                    module, stats = optimize(module, tracer=ctx.tracer)
+                    module, stats = optimize(module, tracer=ctx.tracer,
+                                             limits=ctx.limits)
                     verify_module(module)
                 optimize_seconds = time.perf_counter() - opt_start
             total = time.perf_counter() - start

@@ -27,7 +27,7 @@ interpreter exit, is safe by design).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core import types as ht
 from repro.core.context import QueryContext
@@ -36,6 +36,8 @@ from repro.core.values import TableValue
 from repro.engine.backends import (
     DEFAULT_BACKEND, BackendRegistry, CompilationUnit, default_registry,
 )
+from repro.engine.governor import QueryGovernor
+from repro.errors import GovernorError, HorseRuntimeError
 from repro.engine.executor import PlanExecutor
 from repro.engine.storage import Database
 from repro.matlang.frontend import MatlabProgram, matlab_to_module
@@ -56,6 +58,13 @@ from repro.horsepower.cache import (
 )
 
 __all__ = ["EngineSession", "CompiledQuery"]
+
+#: Runtime failures the graceful-degradation retry may re-run on the
+#: backend's declared fallback (cgen → pygen → interp).  Deliberately
+#: narrow: governor errors (timeout/budget/admission) are policy, not
+#: engine failure, and frontend/builtin errors reproduce identically on
+#: every backend, so retrying them would only waste the fallback chain.
+_RETRYABLE_ERRORS = (HorseRuntimeError,)
 
 #: Sentinel for :meth:`EngineSession.ambient`: resolve the process-shared
 #: pool dynamically per query instead of owning one.
@@ -137,7 +146,8 @@ class EngineSession:
                  backends: BackendRegistry | None = None,
                  default_backend: str = DEFAULT_BACKEND,
                  max_workers: int | None = None,
-                 profile: AllocationProfile | None = None):
+                 profile: AllocationProfile | None = None,
+                 governor: QueryGovernor | None = None):
         self.db = db if db is not None else Database()
         self.udfs = udfs if udfs is not None else UDFRegistry()
         self.metrics = (metrics if metrics is not None
@@ -164,6 +174,11 @@ class EngineSession:
         self.backends = (backends if backends is not None
                          else default_registry())
         self.default_backend = default_backend
+        #: The session's resource policy.  Unconfigured by default —
+        #: every query runs ungoverned unless limits are passed to
+        #: ``run_sql`` or set on the governor.
+        self.governor = (governor if governor is not None
+                         else QueryGovernor(metrics=self.metrics))
         self.plan_cache = PlanCache(plan_cache_size,
                                     metrics=self.metrics)
         self._baseline_executor: PlanExecutor | None = None
@@ -177,7 +192,8 @@ class EngineSession:
                 udfs: UDFRegistry | None = None, *,
                 plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
                 backends: BackendRegistry | None = None,
-                default_backend: str = DEFAULT_BACKEND) \
+                default_backend: str = DEFAULT_BACKEND,
+                governor: QueryGovernor | None = None) \
             -> "EngineSession":
         """The process-default wiring: global metrics, the shared
         executor pool (resolved per query, so pool resets at interpreter
@@ -188,7 +204,8 @@ class EngineSession:
         session = cls(db, udfs, plan_cache_size=plan_cache_size,
                       metrics=global_metrics(), pool=_SHARED_POOL,
                       backends=backends,
-                      default_backend=default_backend)
+                      default_backend=default_backend,
+                      governor=governor)
         session._ambient_tracer = True
         session._ambient_profile = True
         return session
@@ -342,37 +359,111 @@ class EngineSession:
     def run_sql(self, sql: str, n_threads: int = 1,
                 opt_level: str = "opt", backend: str | None = None,
                 use_cache: bool = True,
-                ctx: QueryContext | None = None, **kwargs) -> TableValue:
-        """Prepare (cache permitting) and execute ``sql``."""
+                ctx: QueryContext | None = None,
+                timeout: float | None = None,
+                memory_budget: int | None = None,
+                **kwargs) -> TableValue:
+        """Prepare (cache permitting) and execute ``sql``, governed.
+
+        ``timeout`` (seconds) sets a deadline enforced cooperatively at
+        chunk/statement/pass checkpoints (:class:`QueryTimeout` past
+        it); ``memory_budget`` (bytes) bounds materialized allocation
+        at the profiler charge points (:class:`MemoryBudgetExceeded`
+        beyond it).  Both default to the session governor's defaults;
+        with neither set anywhere, the query runs exactly as before the
+        governor existed.  When the governor has a concurrency limit,
+        the query first holds an admission slot
+        (:class:`AdmissionRejected` when none frees up in time), and a
+        runtime failure degrades down the backend fallback chain when
+        :attr:`QueryGovernor.retry_fallback` allows it.
+        """
         ctx = self._ctx(ctx)
+        governor = self.governor
+        limits = governor.grant(timeout=timeout,
+                                memory_budget=memory_budget)
+        if limits is not None:
+            profile = ctx.profile
+            if limits.memory_budget is not None:
+                profile = governor.budgeted_profile(limits,
+                                                    base=profile)
+            ctx = replace(ctx, limits=limits, profile=profile)
         backend_label = backend or self.default_backend
         profile = ctx.profile
         if profile.enabled:
             bytes_before, inter_before = profile.counters()
         start = time.perf_counter()
-        with ctx.tracer.span("query", system="horsepower", sql=sql,
-                             opt_level=opt_level, backend=backend_label,
-                             n_threads=n_threads) as span:
-            prepared = self.prepare(sql, opt_level, backend=backend,
-                                    use_cache=use_cache, ctx=ctx)
-            result = prepared.query.run(n_threads=n_threads, ctx=ctx,
-                                        **kwargs)
-            if profile.enabled:
-                bytes_after, inter_after = profile.counters()
-                alloc = bytes_after - bytes_before
-                span.set(alloc_bytes=alloc,
-                         peak_bytes=profile.peak_bytes)
-                metrics = ctx.metrics
-                metrics.counter("prof.bytes_allocated").inc(alloc)
-                metrics.counter("prof.intermediates_materialized").inc(
-                    inter_after - inter_before)
-                metrics.gauge("prof.peak_bytes").set_max(
-                    profile.peak_bytes)
-                metrics.histogram("prof.query_bytes",
-                                  bounds=BYTE_BUCKETS).observe(alloc)
+        try:
+            with governor.admit():
+                with ctx.tracer.span(
+                        "query", system="horsepower", sql=sql,
+                        opt_level=opt_level, backend=backend_label,
+                        n_threads=n_threads) as span:
+                    if limits is not None:
+                        if limits.timeout is not None:
+                            span.set(timeout=limits.timeout)
+                        if limits.memory_budget is not None:
+                            span.set(
+                                memory_budget=limits.memory_budget)
+                        limits.check("admission")
+                    result = self._run_governed(
+                        sql, opt_level, backend, use_cache, ctx,
+                        n_threads, span, kwargs)
+                    if profile.enabled:
+                        bytes_after, inter_after = profile.counters()
+                        alloc = bytes_after - bytes_before
+                        span.set(alloc_bytes=alloc,
+                                 peak_bytes=profile.peak_bytes)
+                        metrics = ctx.metrics
+                        metrics.counter("prof.bytes_allocated").inc(
+                            alloc)
+                        metrics.counter(
+                            "prof.intermediates_materialized").inc(
+                            inter_after - inter_before)
+                        metrics.gauge("prof.peak_bytes").set_max(
+                            profile.peak_bytes)
+                        metrics.histogram(
+                            "prof.query_bytes",
+                            bounds=BYTE_BUCKETS).observe(alloc)
+        except GovernorError as exc:
+            governor.note_failure(exc)
+            raise
         self._metric_queries.inc()
         self._metric_query_seconds.observe(time.perf_counter() - start)
         return result
+
+    def _run_governed(self, sql: str, opt_level: str,
+                      backend: str | None, use_cache: bool,
+                      ctx: QueryContext, n_threads: int, span,
+                      kwargs: dict) -> TableValue:
+        """Prepare + execute with graceful backend degradation.
+
+        A :class:`HorseRuntimeError` out of a backend whose registry
+        entry declares a fallback re-prepares and re-runs the query one
+        step down the chain (cgen → pygen → interp), counting
+        ``query.retries`` and annotating the query span; errors that
+        would reproduce identically everywhere (syntax, planning,
+        builtins, governor policy) propagate immediately.
+        """
+        engine = self.backends.resolve(backend or self.default_backend,
+                                       require=("sql",))
+        name = engine.name
+        retries = 0
+        while True:
+            try:
+                prepared = self.prepare(sql, opt_level, backend=name,
+                                        use_cache=use_cache, ctx=ctx)
+                return prepared.query.run(n_threads=n_threads, ctx=ctx,
+                                          **kwargs)
+            except _RETRYABLE_ERRORS as exc:
+                fallback = self.backends.get(name).fallback
+                if fallback is None or not self.governor.retry_fallback:
+                    raise
+                retries += 1
+                ctx.metrics.counter("query.retries").inc()
+                span.set(retries=retries, retried_from=name,
+                         retry_error=f"{type(exc).__name__}: {exc}")
+                name = self.backends.resolve(
+                    fallback, require=("sql",)).name
 
     @property
     def cache_stats(self) -> CacheStats:

@@ -108,6 +108,38 @@ class MatlangRuntimeError(MatlangError):
     """The MATLAB-subset interpreter failed while executing."""
 
 
+class GovernorError(ReproError):
+    """Base class for query-governor enforcement errors.
+
+    Raised when the :class:`~repro.engine.governor.QueryGovernor`
+    refuses or cancels a query.  Deliberately *not* under
+    :class:`HorseIRError`: governor errors describe resource policy,
+    not program failure, and the session's graceful-degradation retry
+    must never retry them on a fallback backend.
+    """
+
+
+class QueryTimeout(GovernorError):
+    """A query ran past its deadline and was cancelled cooperatively
+    at the next checkpoint (chunk boundary, interpreter statement, or
+    optimizer pass)."""
+
+
+class QueryCancelled(GovernorError):
+    """A query was cancelled explicitly via
+    :meth:`~repro.core.limits.QueryLimits.cancel`."""
+
+
+class MemoryBudgetExceeded(GovernorError):
+    """A query materialized more bytes than its memory budget allows
+    (enforced at the allocation-profiler charge points)."""
+
+
+class AdmissionRejected(GovernorError):
+    """The governor's concurrent-query limit is saturated and the
+    admission queue wait (if any) expired before a slot freed up."""
+
+
 class EngineError(ReproError):
     """Base class for column-store engine errors."""
 

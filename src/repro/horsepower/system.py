@@ -52,6 +52,13 @@ class HorsePowerSystem:
     def plan_cache(self) -> PlanCache:
         return self.session.plan_cache
 
+    @property
+    def governor(self):
+        """The session's :class:`~repro.engine.governor.QueryGovernor`
+        (configure concurrency limits and default timeouts/budgets
+        here; per-query limits pass through ``run_sql``)."""
+        return self.session.governor
+
     # -- UDF registration -------------------------------------------------------
 
     def register_scalar_udf(self, name: str, matlab_source: str,

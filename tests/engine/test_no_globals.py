@@ -16,6 +16,7 @@ import pkgutil
 import re
 import types
 
+from repro.core.limits import NullQueryLimits
 from repro.obs.prof import NullAllocationProfile
 from repro.obs.tracer import NullTracer
 
@@ -24,7 +25,8 @@ from repro.obs.tracer import NullTracer
 #: places process-global state used to live.
 AUDITED_ROOTS = ["repro.horsepower", "repro.obs"]
 AUDITED_MODULES = ["repro.core.execpool", "repro.core.context",
-                   "repro.engine.session", "repro.engine.backends"]
+                   "repro.core.limits", "repro.engine.session",
+                   "repro.engine.backends", "repro.engine.governor"]
 
 #: Deliberate ambient state, documented at each definition site.  New
 #: entries need the same justification: state that *defines* the
@@ -48,15 +50,17 @@ ALLOWLIST = {
     ("repro.obs.prof", "_profile"),
 }
 
-#: Types that cannot hold cross-query mutable state.  ``NullTracer``
-#: and ``NullAllocationProfile`` are stateless no-op singletons;
+#: Types that cannot hold cross-query mutable state.  ``NullTracer``,
+#: ``NullAllocationProfile``, and ``NullQueryLimits`` are stateless
+#: no-op singletons (``__slots__ = ()``, class-level constants only);
 #: ``__future__._Feature`` is the ``from __future__ import
 #: annotations`` artifact.
 IMMUTABLE_TYPES = (str, bytes, int, float, bool, complex, tuple,
                    frozenset, type(None), types.ModuleType,
                    types.FunctionType, types.BuiltinFunctionType,
                    type, re.Pattern, logging.Logger, NullTracer,
-                   NullAllocationProfile, __future__._Feature)
+                   NullAllocationProfile, NullQueryLimits,
+                   __future__._Feature)
 
 
 def audited_modules():

@@ -28,6 +28,14 @@ singleton when no timeout or budget is set, the site count is
 ``limits.checks`` after one governed run with an unreachable deadline,
 and the disabled overhead must stay **<2%** of warm Q6.
 
+Session telemetry (PR 7) is the cheapest of the four: exactly **one**
+site per query — the ``if telemetry.enabled:`` branch at the top of
+``run_sql`` on an unconfigured :class:`~repro.obs.SessionTelemetry`
+(``enabled`` is a plain ``False`` attribute).  Everything else (the
+private tracer, the record dict, the query log write) is behind that
+branch, so the disabled cost is one attribute read + truth test,
+bounded by the same **<2%** bar.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py
@@ -48,7 +56,7 @@ if _REPO_ROOT not in sys.path:
 from benchmarks.harness import make_tpch_systems, time_callable  # noqa: E402
 from repro.core.limits import NULL_LIMITS  # noqa: E402
 from repro.obs import (NULL_PROFILE, NULL_TRACER, AllocationProfile,  # noqa: E402
-                       Tracer, use_profile, use_tracer)
+                       SessionTelemetry, Tracer, use_profile, use_tracer)
 from repro.workloads.tpch_queries import PLAIN_QUERIES  # noqa: E402
 
 OVERHEAD_BAR = 0.02
@@ -92,6 +100,27 @@ def measure_null_limits_cost(loops: int = _NULL_SPAN_LOOPS) -> float:
     elapsed = time.perf_counter() - start
     assert sink == 0
     return elapsed / loops
+
+
+def measure_disabled_telemetry_cost(loops: int = _NULL_SPAN_LOOPS) -> float:
+    """Seconds per disabled telemetry site (the ``if
+    telemetry.enabled:`` branch ``run_sql`` pays once per query when
+    telemetry is unconfigured)."""
+    telemetry = SessionTelemetry()
+    assert not telemetry.enabled
+    sink = 0
+    start = time.perf_counter()
+    for _ in range(loops):
+        if telemetry.enabled:
+            sink += 1  # pragma: no cover - unconfigured telemetry
+    elapsed = time.perf_counter() - start
+    assert sink == 0
+    return elapsed / loops
+
+
+# ``run_sql`` consults ``telemetry.enabled`` exactly once per query;
+# there are no other disabled-telemetry sites in the pipeline.
+TELEMETRY_SITES_PER_QUERY = 1
 
 
 def count_checkpoints_per_run(hp, sql: str) -> int:
@@ -142,9 +171,13 @@ def main() -> int:
     gov_site_cost = measure_null_limits_cost()
     checkpoints = count_checkpoints_per_run(hp, sql)
 
+    tel_site_cost = measure_disabled_telemetry_cost()
+
     overhead = sites * site_cost / disabled.seconds
     prof_overhead = charge_sites * prof_site_cost / disabled.seconds
     gov_overhead = checkpoints * gov_site_cost / disabled.seconds
+    tel_overhead = (TELEMETRY_SITES_PER_QUERY * tel_site_cost
+                    / disabled.seconds)
     print("# Disabled-tracer overhead on TPC-H Q6 (warm, cached plan)")
     print(f"warm Q6 runtime (tracing off) : {disabled.millis:9.3f} ms")
     print(f"warm Q6 runtime (tracing on)  : {enabled.millis:9.3f} ms")
@@ -166,6 +199,14 @@ def main() -> int:
           f" ns")
     print(f"disabled overhead             : {gov_overhead:9.4%} "
           f"(bar: <{OVERHEAD_BAR:.0%})")
+    print()
+    print("# Disabled-telemetry overhead on TPC-H Q6 (warm, cached plan)")
+    print(f"telemetry sites per query     : "
+          f"{TELEMETRY_SITES_PER_QUERY:9d}")
+    print(f"cost per disabled check       : {tel_site_cost * 1e9:9.1f}"
+          f" ns")
+    print(f"disabled overhead             : {tel_overhead:9.4%} "
+          f"(bar: <{OVERHEAD_BAR:.0%})")
     failed = False
     if overhead >= OVERHEAD_BAR:
         print("FAIL: disabled tracing is not near-free")
@@ -175,6 +216,9 @@ def main() -> int:
         failed = True
     if gov_overhead >= OVERHEAD_BAR:
         print("FAIL: disabled governor checkpoints are not near-free")
+        failed = True
+    if tel_overhead >= OVERHEAD_BAR:
+        print("FAIL: disabled telemetry is not near-free")
         failed = True
     if failed:
         return 1

@@ -129,6 +129,15 @@ def _cmd_run_sql(args) -> int:
         raise SystemExit(
             "--timeout/--memory-budget/--max-concurrent govern the "
             "HorsePower engine; the monetdb baseline runs ungoverned")
+    telemetry_requested = (args.query_log is not None
+                          or args.slow_query_ms is not None
+                          or args.diagnostics_dir is not None
+                          or args.serve_metrics is not None)
+    if telemetry_requested and args.system == "monetdb":
+        raise SystemExit(
+            "--query-log/--slow-query-ms/--diagnostics-dir/"
+            "--serve-metrics attach to the HorsePower session; the "
+            "monetdb baseline runs without telemetry")
 
     db = _load_tables(args)
     sql = args.query if args.query else sys.stdin.read()
@@ -156,6 +165,18 @@ def _cmd_run_sql(args) -> int:
             hp = HorsePowerSystem(db)
             if args.max_concurrent is not None:
                 hp.governor.configure(max_concurrent=args.max_concurrent)
+            if telemetry_requested:
+                telemetry = hp.configure_telemetry(
+                    query_log=args.query_log,
+                    slow_query_ms=args.slow_query_ms,
+                    diagnostics_dir=args.diagnostics_dir,
+                    serve_metrics=args.serve_metrics)
+                if telemetry.server is not None:
+                    # Printed (and flushed) before the query runs so a
+                    # scraper can attach mid-run.
+                    print(f"-- serving Prometheus metrics at "
+                          f"{telemetry.server.url} (Ctrl-C to stop)",
+                          flush=True)
             use_cache = not args.no_cache
             try:
                 for _ in range(repeat):
@@ -167,6 +188,12 @@ def _cmd_run_sql(args) -> int:
             except GovernorError as exc:
                 print(f"error: {type(exc).__name__}: {exc}",
                       file=sys.stderr)
+                if args.query_log is not None:
+                    print(f"-- query-log record appended to "
+                          f"{args.query_log}", file=sys.stderr)
+                if args.diagnostics_dir is not None:
+                    print(f"-- diagnostics bundle written under "
+                          f"{args.diagnostics_dir}", file=sys.stderr)
                 return 2
             if args.cache_stats:
                 print(f"-- plan cache: {hp.cache_stats.summary()} "
@@ -186,6 +213,22 @@ def _cmd_run_sql(args) -> int:
         _emit_profile_output(args, profile)
     if args.metrics_json:
         _write_metrics_json(args.metrics_json, hp)
+    if hp is not None and args.query_log is not None:
+        log = hp.telemetry.query_log
+        print(f"-- query log: {log.emitted} record"
+              f"{'' if log.emitted == 1 else 's'} appended to "
+              f"{args.query_log}"
+              + (f" ({log.sampled_out} sampled out)"
+                 if log.sampled_out else ""))
+    if hp is not None and hp.telemetry.server is not None:
+        # Keep the scrape endpoint alive until the user interrupts —
+        # this is what lets `curl .../metrics` observe a bench run.
+        import threading
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            pass
+        hp.telemetry.server.close()
     return 0
 
 
@@ -375,6 +418,28 @@ def build_parser() -> argparse.ArgumentParser:
     run_sql.add_argument("--metrics-json", metavar="PATH",
                          help="write runtime metrics (plan cache, pool, "
                               "kernels, rows) as flat JSON")
+    run_sql.add_argument("--query-log", nargs="?",
+                         const="query_log.jsonl", metavar="PATH",
+                         help="append one structured JSONL record per "
+                              "query (query id, SQL fingerprint, "
+                              "backend, cache hit, per-phase times, "
+                              "rows, governor outcome); default "
+                              "query_log.jsonl")
+    run_sql.add_argument("--slow-query-ms", type=float, metavar="MS",
+                         help="mark (and always log) queries slower "
+                              "than this wall-time threshold")
+    run_sql.add_argument("--diagnostics-dir", metavar="DIR",
+                         help="dump an automatic diagnostics bundle "
+                              "(span tree, metrics, profile, backends, "
+                              "flight records) on any governor or "
+                              "runtime failure")
+    run_sql.add_argument("--serve-metrics", nargs="?", const=9464,
+                         type=int, metavar="PORT",
+                         help="serve Prometheus-format metrics at "
+                              "http://127.0.0.1:PORT/metrics (default "
+                              "9464, 0 picks a free port) and keep "
+                              "serving after the query until "
+                              "interrupted")
     run_sql.set_defaults(fn=_cmd_run_sql)
 
     compile_sql = commands.add_parser(

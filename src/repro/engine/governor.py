@@ -49,6 +49,11 @@ Governor metrics (created lazily, only when the policy fires):
 ``governor.queue_wait_seconds``           admission queue wait histogram
 ``query.retries``                         graceful-degradation retries
 ========================================  ==============================
+
+When session telemetry is configured (``docs/telemetry.md``), every
+governed refusal additionally leaves a durable query-log record whose
+``outcome`` is the error's ``refusal`` class, and — with a diagnostics
+directory set — an automatic postmortem bundle.
 """
 
 from __future__ import annotations
@@ -241,13 +246,17 @@ class QueryGovernor:
 
     # -- outcome accounting ----------------------------------------------------
 
-    def note_failure(self, exc: BaseException) -> None:
+    def note_failure(self, exc: BaseException) -> str:
         """Count a governor-enforced stop (called by ``run_sql`` on the
-        way out; rejections are counted inside :meth:`admit`)."""
+        way out; rejections are counted inside :meth:`admit`) and
+        return the refusal class — the stable ``outcome`` string the
+        telemetry query log records (``"timeout"``, ``"memory_budget"``,
+        ``"admission_rejected"``, ``"cancelled"``)."""
         if isinstance(exc, QueryTimeout):
             self.metrics.counter("governor.timed_out").inc()
         elif isinstance(exc, (QueryCancelled, MemoryBudgetExceeded)):
             self.metrics.counter("governor.cancelled").inc()
+        return getattr(exc, "refusal", "error")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"QueryGovernor(max_concurrent={self.max_concurrent}, "

@@ -43,7 +43,8 @@ from repro.engine.storage import Database
 from repro.matlang.frontend import MatlabProgram, matlab_to_module
 from repro.obs import (
     BYTE_BUCKETS, NULL_PROFILE, NULL_TRACER, AllocationProfile,
-    MetricsRegistry, Tracer, get_profile, get_tracer, global_metrics,
+    MetricsRegistry, SessionTelemetry, Tracer, get_profile, get_tracer,
+    global_metrics,
 )
 from repro.sql.parser import parse_sql
 from repro.sql.plan import plan_to_json
@@ -147,7 +148,9 @@ class EngineSession:
                  default_backend: str = DEFAULT_BACKEND,
                  max_workers: int | None = None,
                  profile: AllocationProfile | None = None,
-                 governor: QueryGovernor | None = None):
+                 governor: QueryGovernor | None = None,
+                 query_log=None,
+                 telemetry: SessionTelemetry | None = None):
         self.db = db if db is not None else Database()
         self.udfs = udfs if udfs is not None else UDFRegistry()
         self.metrics = (metrics if metrics is not None
@@ -179,6 +182,15 @@ class EngineSession:
         #: ``run_sql`` or set on the governor.
         self.governor = (governor if governor is not None
                          else QueryGovernor(metrics=self.metrics))
+        #: Production telemetry (query log / flight recorder /
+        #: Prometheus endpoint, see :mod:`repro.obs.telemetry`).
+        #: Unconfigured — and one attribute read per query — unless
+        #: ``query_log=`` / ``telemetry=`` is passed or
+        #: :meth:`configure_telemetry` is called.
+        self.telemetry = (telemetry if telemetry is not None
+                          else SessionTelemetry(metrics=self.metrics))
+        if query_log is not None:
+            self.telemetry.configure(query_log=query_log)
         self.plan_cache = PlanCache(plan_cache_size,
                                     metrics=self.metrics)
         self._baseline_executor: PlanExecutor | None = None
@@ -255,6 +267,7 @@ class EngineSession:
         if self._closed:
             return
         self._closed = True
+        self.telemetry.close()
         if self._owns_pool and self._pool is not None:
             self._pool.close()
 
@@ -264,6 +277,28 @@ class EngineSession:
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.close()
         return False
+
+    # -- telemetry ------------------------------------------------------------
+
+    def configure_telemetry(self, **kwargs) -> SessionTelemetry:
+        """Turn on any subset of the session's production telemetry —
+        ``query_log=`` (path/stream/:class:`~repro.obs.QueryLog`),
+        ``slow_query_ms=``, ``sample_rate=``, ``flight_recorder=``
+        (capacity), ``diagnostics_dir=`` (automatic postmortem bundles
+        on engine/governor failures), and ``serve_metrics=`` (a port;
+        starts the Prometheus ``/metrics`` endpoint over this
+        session's registry).  See ``docs/telemetry.md``."""
+        return self.telemetry.configure(**kwargs)
+
+    def dump_diagnostics(self, directory) -> str:
+        """Write a postmortem diagnostics bundle (final span tree,
+        metrics snapshot, profile, backend registry, environment
+        summary, flight-recorder contents) under ``directory`` and
+        return the bundle path.  Called automatically on
+        :class:`GovernorError`/:class:`HorseRuntimeError` when the
+        telemetry has a ``diagnostics_dir``; callable manually any
+        time."""
+        return self.telemetry.dump_diagnostics(self, directory)
 
     # -- UDF registration -----------------------------------------------------
 
@@ -376,8 +411,27 @@ class EngineSession:
         (:class:`AdmissionRejected` when none frees up in time), and a
         runtime failure degrades down the backend fallback chain when
         :attr:`QueryGovernor.retry_fallback` allows it.
+
+        With session telemetry enabled (:meth:`configure_telemetry`),
+        every call — successful, refused, or failed — additionally
+        leaves one structured query-log record and a flight-recorder
+        entry; engine/governor failures auto-dump a diagnostics bundle
+        when a diagnostics directory is configured.
         """
         ctx = self._ctx(ctx)
+        backend_label = backend or self.default_backend
+        telemetry = self.telemetry
+        record = None
+        if telemetry.enabled:
+            # Telemetry needs the span tree for per-phase times; when
+            # the session isn't tracing, give this query a private
+            # tracer so the record (and any diagnostics bundle) still
+            # carries provenance.
+            if not ctx.tracer.enabled:
+                ctx = replace(ctx, tracer=Tracer())
+            record = telemetry.begin_query(
+                sql, backend=backend_label, opt_level=opt_level,
+                n_threads=n_threads)
         governor = self.governor
         limits = governor.grant(timeout=timeout,
                                 memory_budget=memory_budget)
@@ -387,17 +441,19 @@ class EngineSession:
                 profile = governor.budgeted_profile(limits,
                                                     base=profile)
             ctx = replace(ctx, limits=limits, profile=profile)
-        backend_label = backend or self.default_backend
         profile = ctx.profile
         if profile.enabled:
             bytes_before, inter_before = profile.counters()
         start = time.perf_counter()
+        root_span = None
+        failure: BaseException | None = None
         try:
             with governor.admit():
                 with ctx.tracer.span(
                         "query", system="horsepower", sql=sql,
                         opt_level=opt_level, backend=backend_label,
                         n_threads=n_threads) as span:
+                    root_span = span
                     if limits is not None:
                         if limits.timeout is not None:
                             span.set(timeout=limits.timeout)
@@ -408,6 +464,8 @@ class EngineSession:
                     result = self._run_governed(
                         sql, opt_level, backend, use_cache, ctx,
                         n_threads, span, kwargs)
+                    if record is not None:
+                        span.set(rows_returned=result.num_rows)
                     if profile.enabled:
                         bytes_after, inter_after = profile.counters()
                         alloc = bytes_after - bytes_before
@@ -426,7 +484,17 @@ class EngineSession:
                             bounds=BYTE_BUCKETS).observe(alloc)
         except GovernorError as exc:
             governor.note_failure(exc)
+            failure = exc
             raise
+        except BaseException as exc:
+            failure = exc
+            raise
+        finally:
+            if record is not None:
+                telemetry.finish_query(
+                    record, self, root_span,
+                    wall_seconds=time.perf_counter() - start,
+                    error=failure)
         self._metric_queries.inc()
         self._metric_query_seconds.observe(time.perf_counter() - start)
         return result
@@ -464,6 +532,9 @@ class EngineSession:
                          retry_error=f"{type(exc).__name__}: {exc}")
                 name = self.backends.resolve(
                     fallback, require=("sql",)).name
+                # The span's backend now names the engine that actually
+                # ran the query — telemetry records it as provenance.
+                span.set(backend=name)
 
     @property
     def cache_stats(self) -> CacheStats:

@@ -116,7 +116,14 @@ class GovernorError(ReproError):
     :class:`HorseIRError`: governor errors describe resource policy,
     not program failure, and the session's graceful-degradation retry
     must never retry them on a fallback backend.
+
+    ``refusal`` is the machine-readable refusal class each subclass
+    declares — the ``outcome`` field of a telemetry query-log record
+    (``"timeout"``, ``"memory_budget"``, ...), stable across message
+    wording changes.
     """
+
+    refusal = "refused"
 
 
 class QueryTimeout(GovernorError):
@@ -124,20 +131,28 @@ class QueryTimeout(GovernorError):
     at the next checkpoint (chunk boundary, interpreter statement, or
     optimizer pass)."""
 
+    refusal = "timeout"
+
 
 class QueryCancelled(GovernorError):
     """A query was cancelled explicitly via
     :meth:`~repro.core.limits.QueryLimits.cancel`."""
+
+    refusal = "cancelled"
 
 
 class MemoryBudgetExceeded(GovernorError):
     """A query materialized more bytes than its memory budget allows
     (enforced at the allocation-profiler charge points)."""
 
+    refusal = "memory_budget"
+
 
 class AdmissionRejected(GovernorError):
     """The governor's concurrent-query limit is saturated and the
     admission queue wait (if any) expired before a slot freed up."""
+
+    refusal = "admission_rejected"
 
 
 class EngineError(ReproError):

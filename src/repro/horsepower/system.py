@@ -59,6 +59,24 @@ class HorsePowerSystem:
         here; per-query limits pass through ``run_sql``)."""
         return self.session.governor
 
+    @property
+    def telemetry(self):
+        """The session's :class:`~repro.obs.SessionTelemetry` (query
+        log, flight recorder, Prometheus endpoint); unconfigured — and
+        free — by default."""
+        return self.session.telemetry
+
+    def configure_telemetry(self, **kwargs):
+        """See :meth:`EngineSession.configure_telemetry` — the CLI's
+        ``--query-log`` / ``--slow-query-ms`` / ``--serve-metrics``
+        land here."""
+        return self.session.configure_telemetry(**kwargs)
+
+    def dump_diagnostics(self, directory) -> str:
+        """Write a postmortem diagnostics bundle; see
+        :meth:`EngineSession.dump_diagnostics`."""
+        return self.session.dump_diagnostics(directory)
+
     # -- UDF registration -------------------------------------------------------
 
     def register_scalar_udf(self, name: str, matlab_source: str,

@@ -15,7 +15,13 @@ metric names):
 * :mod:`repro.obs.prof` — the allocation/materialization profiler
   (bytes charged per statement/builtin/kernel, peak footprint, and the
   paper-style ``fusion_savings`` naive-vs-opt report); off by default
-  via a near-free no-op profile.
+  via a near-free no-op profile;
+* :mod:`repro.obs.telemetry` — production telemetry (see
+  ``docs/telemetry.md``): the structured JSONL query log, the
+  flight-recorder ring buffer with diagnostics bundles, and the
+  Prometheus ``/metrics`` endpoint over
+  :meth:`MetricsRegistry.to_prometheus`; off by default at one
+  attribute read per query.
 """
 
 from repro.obs.metrics import (BYTE_BUCKETS, Counter, Gauge, Histogram,
@@ -28,8 +34,11 @@ from repro.obs.render import (chrome_trace, chrome_trace_json,
                               phase_coverage, render_explain_analyze)
 from repro.obs.tracer import (NULL_TRACER, NullTracer, Span, Tracer,
                               get_tracer, set_tracer, use_tracer)
+from repro.obs.telemetry import (FlightRecorder, MetricsServer, QueryLog,
+                                 SessionTelemetry)
 
 __all__ = [
+    "FlightRecorder", "MetricsServer", "QueryLog", "SessionTelemetry",
     "BYTE_BUCKETS", "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "global_metrics",
     "NULL_PROFILE", "AllocationProfile", "FusionSavings",

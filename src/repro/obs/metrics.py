@@ -22,22 +22,32 @@ place), so modules may cache instrument references at import time.
 The flat JSON form (:meth:`MetricsRegistry.snapshot`) is what the CLI's
 ``--metrics-json`` writes and what ``benchmarks/report.py`` consumes to
 split the paper's COMP column into per-phase figures.
+:meth:`MetricsRegistry.to_prometheus` renders the same instruments in
+the Prometheus text exposition format (dotted names sanitized,
+histogram buckets cumulative and ending in ``+Inf``) — the payload the
+:class:`~repro.obs.telemetry.MetricsServer` serves on ``/metrics``.
 """
 
 from __future__ import annotations
 
+import re
 import threading
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "global_metrics", "DEFAULT_BUCKETS", "BYTE_BUCKETS"]
+
+#: Characters the Prometheus exposition format forbids in metric names;
+#: everything outside ``[a-zA-Z0-9_:]`` becomes ``_`` (``a.b`` → ``a_b``).
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
 #: Default histogram bucket upper bounds, in seconds.
 DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
 
 #: Bucket upper bounds for byte-valued histograms: 1KiB … 1GiB in
 #: powers of 8, plus the KiB/MiB/GiB decades in between.  Values above
-#: the last bound land in no bucket (same overflow convention as
-#: DEFAULT_BUCKETS); count/sum/min/max still record them.
+#: the last bound land in the implicit overflow (``+Inf``) bucket
+#: (same convention as DEFAULT_BUCKETS); count/sum/min/max record them
+#: too.
 BYTE_BUCKETS = (1 << 10, 1 << 13, 1 << 16, 1 << 20, 1 << 23,
                 1 << 26, 1 << 30)
 
@@ -104,16 +114,24 @@ class Gauge:
 
 
 class Histogram:
-    """Count/sum/min/max plus cumulative log-scale bucket counts."""
+    """Count/sum/min/max plus log-scale bucket counts.
 
-    __slots__ = ("name", "_lock", "_bounds", "_buckets", "count", "sum",
-                 "min", "max")
+    Values above the last configured bound land in an implicit
+    overflow (``+Inf``) bucket, so per-bucket counts always sum to
+    ``count`` and the Prometheus cumulative mapping is exact.  The
+    overflow bucket appears in snapshots (as ``le_inf``) only when it
+    is non-empty, keeping historical snapshots byte-identical for
+    distributions that never overflowed."""
+
+    __slots__ = ("name", "_lock", "_bounds", "_buckets", "_overflow",
+                 "count", "sum", "min", "max")
 
     def __init__(self, name: str, bounds=DEFAULT_BUCKETS):
         self.name = name
         self._lock = threading.Lock()
         self._bounds = tuple(bounds)
         self._buckets = [0] * len(self._bounds)
+        self._overflow = 0
         self.count = 0
         self.sum = 0.0
         self.min = None
@@ -131,15 +149,25 @@ class Histogram:
                 if value <= bound:
                     self._buckets[index] += 1
                     break
+            else:
+                self._overflow += 1
 
     @property
     def mean(self) -> float:
         with self._lock:
             return self.sum / self.count if self.count else 0.0
 
+    def bucket_state(self):
+        """``(bounds, per-bucket counts, overflow, count, sum)`` under
+        one lock acquisition — the exporter's consistent view."""
+        with self._lock:
+            return (self._bounds, tuple(self._buckets), self._overflow,
+                    self.count, self.sum)
+
     def _reset(self) -> None:
         with self._lock:
             self._buckets = [0] * len(self._bounds)
+            self._overflow = 0
             self.count = 0
             self.sum = 0.0
             self.min = None
@@ -147,14 +175,17 @@ class Histogram:
 
     def _snapshot(self):
         with self._lock:
+            buckets = {f"le_{bound:g}": count for bound, count
+                       in zip(self._bounds, self._buckets)}
+            if self._overflow:
+                buckets["le_inf"] = self._overflow
             return {
                 "count": self.count,
                 "sum": self.sum,
                 "min": self.min,
                 "max": self.max,
                 "mean": self.sum / self.count if self.count else 0.0,
-                "buckets": {f"le_{bound:g}": count for bound, count
-                            in zip(self._bounds, self._buckets)},
+                "buckets": buckets,
             }
 
 
@@ -198,6 +229,47 @@ class MetricsRegistry:
         return {name: instrument._snapshot()
                 for name, instrument in instruments}
 
+    def to_prometheus(self) -> str:
+        """Every instrument in the Prometheus text exposition format
+        (version 0.0.4) — what the telemetry ``/metrics`` endpoint
+        serves and any standard Prometheus scraper parses.
+
+        Dotted names sanitize mechanically (``a.b`` → ``a_b``; no
+        ``_total`` suffixing, so a scrape greps exactly like a
+        snapshot).  Histogram buckets are emitted cumulatively with a
+        final ``le="+Inf"`` bucket equal to ``_count``, which the
+        implicit overflow bucket makes exact rather than approximate.
+        """
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        lines: list[str] = []
+        for name, instrument in instruments:
+            pname = _prometheus_name(name)
+            if isinstance(instrument, Counter):
+                lines.append(f"# HELP {pname} counter {name}")
+                lines.append(f"# TYPE {pname} counter")
+                lines.append(f"{pname} {_prometheus_value(instrument.value)}")
+            elif isinstance(instrument, Gauge):
+                lines.append(f"# HELP {pname} gauge {name}")
+                lines.append(f"# TYPE {pname} gauge")
+                lines.append(f"{pname} {_prometheus_value(instrument.value)}")
+            elif isinstance(instrument, Histogram):
+                bounds, buckets, _overflow, count, total = \
+                    instrument.bucket_state()
+                lines.append(f"# HELP {pname} histogram {name}")
+                lines.append(f"# TYPE {pname} histogram")
+                cumulative = 0
+                for bound, bucket_count in zip(bounds, buckets):
+                    cumulative += bucket_count
+                    lines.append(f'{pname}_bucket{{le="{bound:g}"}} '
+                                 f"{cumulative}")
+                # +Inf == count exactly: overflow observations are
+                # accounted, so cumulative + overflow == count.
+                lines.append(f'{pname}_bucket{{le="+Inf"}} {count}')
+                lines.append(f"{pname}_sum {_prometheus_value(total)}")
+                lines.append(f"{pname}_count {count}")
+        return "\n".join(lines) + "\n"
+
     def reset(self) -> None:
         """Zero every instrument in place (identities survive, so
         modules caching instrument references stay wired up)."""
@@ -205,6 +277,24 @@ class MetricsRegistry:
             instruments = list(self._instruments.values())
         for instrument in instruments:
             instrument._reset()
+
+
+def _prometheus_name(name: str) -> str:
+    """``a.b-c`` → ``a_b_c``; a leading digit gains a ``_`` prefix."""
+    sanitized = _PROM_NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prometheus_value(value) -> str:
+    """Integers render as integers, floats via ``repr`` (full
+    precision; Prometheus accepts any Go-parseable float)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
 
 
 _global = MetricsRegistry()

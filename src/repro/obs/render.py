@@ -39,6 +39,12 @@ _MAX_ATTR_LEN = 48
 #: golden files) are byte-identical with the profiler off.
 _BYTE_ATTRS = {"alloc_bytes": "alloc", "peak_bytes": "peak"}
 
+#: Attributes renamed for display.  ``rows_returned`` is set on the
+#: query span only when session telemetry is enabled, so — exactly like
+#: the profiler's byte attrs — default output and the PR 2 golden files
+#: are byte-identical with telemetry off.
+_RENAMED_ATTRS = {"rows_returned": "rows"}
+
 
 def _format_attr(value) -> str:
     if isinstance(value, float):
@@ -60,6 +66,7 @@ def _attr_suffix(span: Span) -> str:
         if label is not None:
             parts.append(f"{label}={format_bytes(value)}")
         else:
+            key = _RENAMED_ATTRS.get(key, key)
             parts.append(f"{key}={_format_attr(value)}")
     return f"  [{' '.join(parts)}]" if parts else ""
 

@@ -108,6 +108,34 @@ def test_no_module_level_mutable_state():
         + "\n  ".join(offenders))
 
 
+def test_telemetry_module_is_audited():
+    """The telemetry module (ring buffer, query-id sequence, HTTP
+    server) rides under the ``repro.obs`` package root, so the audit
+    above covers it automatically — this guard fails if it is ever
+    moved out from under an audited root."""
+    assert "repro.obs.telemetry" in audited_modules()
+
+
+def test_telemetry_state_is_session_owned():
+    """Two sessions never share a flight recorder, a query-id
+    sequence, or a metrics server."""
+    import io
+
+    from repro.engine import EngineSession
+
+    with EngineSession() as one, EngineSession() as two:
+        one.configure_telemetry(query_log=io.StringIO())
+        two.configure_telemetry(query_log=io.StringIO())
+        assert one.telemetry is not two.telemetry
+        assert one.telemetry.recorder is not two.telemetry.recorder
+        first = one.telemetry.begin_query(
+            "SELECT 1", backend="pygen", opt_level="opt", n_threads=1)
+        second = two.telemetry.begin_query(
+            "SELECT 1", backend="pygen", opt_level="opt", n_threads=1)
+        # Independent sequences: both sessions hand out id 1.
+        assert first["query_id"] == second["query_id"] == 1
+
+
 def test_allowlist_matches_reality():
     """Every allowlisted name still exists — a stale allowlist entry
     means the global was removed and the entry must go too."""

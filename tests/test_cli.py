@@ -132,3 +132,51 @@ def test_list_backends(capsys):
     assert "capabilities:" in out
     assert "aliases: python" in out
     assert "fallback: pygen" in out
+
+
+def test_run_sql_query_log_writes_jsonl(csv_table, tmp_path, capsys):
+    import json
+
+    log_path = tmp_path / "queries.jsonl"
+    code = main(["run-sql", "--repeat", "2",
+                 "--query-log", str(log_path),
+                 "--table", f"t={csv_table}@x:f64,label:str",
+                 "SELECT SUM(x) AS s FROM t"])
+    assert code == 0
+    records = [json.loads(line)
+               for line in log_path.read_text().splitlines()]
+    assert len(records) == 2
+    assert [r["query_id"] for r in records] == [1, 2]
+    assert [r["cache_hit"] for r in records] == [False, True]
+    assert all(r["outcome"] == "ok" for r in records)
+    out = capsys.readouterr().out
+    assert "query log: 2 records appended" in out
+
+
+def test_run_sql_timeout_writes_diagnostics_bundle(
+        csv_table, tmp_path, capsys):
+    import json
+
+    log_path = tmp_path / "queries.jsonl"
+    diag_dir = tmp_path / "diag"
+    code = main(["run-sql", "--backend", "interp",
+                 "--timeout", "1e-9",
+                 "--query-log", str(log_path),
+                 "--diagnostics-dir", str(diag_dir),
+                 "--table", f"t={csv_table}@x:f64,label:str",
+                 "SELECT SUM(x) AS s FROM t"])
+    assert code == 2
+    record = json.loads(log_path.read_text().splitlines()[0])
+    assert record["outcome"] == "timeout"
+    bundles = list(diag_dir.iterdir())
+    assert len(bundles) == 1
+    assert (bundles[0] / "record.json").stat().st_size > 0
+    err = capsys.readouterr().err
+    assert "diagnostics bundle written" in err
+
+
+def test_run_sql_telemetry_conflicts_with_monetdb_system(csv_table):
+    with pytest.raises(SystemExit, match="telemetry"):
+        main(["run-sql", "--system", "monetdb", "--query-log",
+              "--table", f"t={csv_table}@x:f64,label:str",
+              "SELECT SUM(x) AS s FROM t"])

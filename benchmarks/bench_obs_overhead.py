@@ -36,11 +36,19 @@ private tracer, the record dict, the query log write) is behind that
 branch, so the disabled cost is one attribute read + truth test,
 bounded by the same **<2%** bar.
 
+The inter-pass IR verifier (PR 8) rounds out the set: every pass
+application ends in a ``_verify_method``/``_verify_module`` call whose
+first action is ``if not self.verify: return`` when ``--verify-ir`` is
+off.  The site count is the number of those calls one cold Q6 compile
+makes, the per-site cost is the measured disabled call, and the
+overhead (against the same warm-Q6 denominator as the others, although
+warm runs compile nothing at all) must stay **<2%**.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py
 
-Exits non-zero if either disabled overhead exceeds the 2% bar.
+Exits non-zero if any disabled overhead exceeds the 2% bar.
 """
 
 from __future__ import annotations
@@ -123,6 +131,48 @@ def measure_disabled_telemetry_cost(loops: int = _NULL_SPAN_LOOPS) -> float:
 TELEMETRY_SITES_PER_QUERY = 1
 
 
+def measure_disabled_verify_cost(loops: int = _NULL_SPAN_LOOPS) -> float:
+    """Seconds per disabled verification site (the
+    ``if not self.verify: return`` call every pass application pays
+    when ``--verify-ir`` is off)."""
+    from repro.core.passes import PassManager, preset
+
+    manager = PassManager(preset("O2"))
+    assert not manager.verify
+    check = manager._verify_method
+    start = time.perf_counter()
+    for _ in range(loops):
+        check("x", None, None)
+    return (time.perf_counter() - start) / loops
+
+
+def count_verify_sites_per_compile(hp, sql: str) -> int:
+    """Verification call sites one cold Q6 compile passes through
+    (counted by wrapping the manager's verify hooks)."""
+    from repro.core import passes as passes_mod
+
+    counts = [0]
+    orig_method = passes_mod.PassManager._verify_method
+    orig_module = passes_mod.PassManager._verify_module
+
+    def counting_method(self, *args, **kwargs):
+        counts[0] += 1
+        return orig_method(self, *args, **kwargs)
+
+    def counting_module(self, *args, **kwargs):
+        counts[0] += 1
+        return orig_module(self, *args, **kwargs)
+
+    passes_mod.PassManager._verify_method = counting_method
+    passes_mod.PassManager._verify_module = counting_module
+    try:
+        hp.compile_sql(sql)
+    finally:
+        passes_mod.PassManager._verify_method = orig_method
+        passes_mod.PassManager._verify_module = orig_module
+    return counts[0]
+
+
 def count_checkpoints_per_run(hp, sql: str) -> int:
     """Cancellation checkpoints one warm, governed Q6 run passes
     through — measured by granting a deadline far in the future and
@@ -173,11 +223,16 @@ def main() -> int:
 
     tel_site_cost = measure_disabled_telemetry_cost()
 
+    verify_site_cost = measure_disabled_verify_cost()
+    verify_sites = count_verify_sites_per_compile(hp, sql)
+
     overhead = sites * site_cost / disabled.seconds
     prof_overhead = charge_sites * prof_site_cost / disabled.seconds
     gov_overhead = checkpoints * gov_site_cost / disabled.seconds
     tel_overhead = (TELEMETRY_SITES_PER_QUERY * tel_site_cost
                     / disabled.seconds)
+    verify_overhead = (verify_sites * verify_site_cost
+                       / disabled.seconds)
     print("# Disabled-tracer overhead on TPC-H Q6 (warm, cached plan)")
     print(f"warm Q6 runtime (tracing off) : {disabled.millis:9.3f} ms")
     print(f"warm Q6 runtime (tracing on)  : {enabled.millis:9.3f} ms")
@@ -207,6 +262,13 @@ def main() -> int:
           f" ns")
     print(f"disabled overhead             : {tel_overhead:9.4%} "
           f"(bar: <{OVERHEAD_BAR:.0%})")
+    print()
+    print("# Disabled-verifier overhead on TPC-H Q6 (cold compile)")
+    print(f"verify sites per cold compile : {verify_sites:9d}")
+    print(f"cost per disabled check       : "
+          f"{verify_site_cost * 1e9:9.1f} ns")
+    print(f"disabled overhead             : {verify_overhead:9.4%} "
+          f"(bar: <{OVERHEAD_BAR:.0%})")
     failed = False
     if overhead >= OVERHEAD_BAR:
         print("FAIL: disabled tracing is not near-free")
@@ -219,6 +281,9 @@ def main() -> int:
         failed = True
     if tel_overhead >= OVERHEAD_BAR:
         print("FAIL: disabled telemetry is not near-free")
+        failed = True
+    if verify_overhead >= OVERHEAD_BAR:
+        print("FAIL: disabled IR verification is not near-free")
         failed = True
     if failed:
         return 1

@@ -21,7 +21,8 @@ import json
 import sys
 
 from repro.core import types as ht
-from repro.errors import GovernorError
+from repro.errors import (GovernorError, OptimizerError,
+                          PassVerificationError)
 
 _TYPE_NAMES = {
     "bool": ht.BOOL, "i64": ht.I64, "i32": ht.I32, "f64": ht.F64,
@@ -138,6 +139,14 @@ def _cmd_run_sql(args) -> int:
             "--query-log/--slow-query-ms/--diagnostics-dir/"
             "--serve-metrics attach to the HorsePower session; the "
             "monetdb baseline runs without telemetry")
+    pipeline_requested = (args.passes is not None or args.verify_ir
+                          or args.dump_ir is not None)
+    if pipeline_requested and args.system == "monetdb":
+        raise SystemExit(
+            "--passes/--verify-ir/--dump-ir drive the HorsePower "
+            "compiler's pass pipeline; the monetdb baseline has no "
+            "pass pipeline")
+    _validate_passes(args)
 
     db = _load_tables(args)
     sql = args.query if args.query else sys.stdin.read()
@@ -184,7 +193,14 @@ def _cmd_run_sql(args) -> int:
                                         use_cache=use_cache,
                                         backend=backend or "python",
                                         timeout=args.timeout,
-                                        memory_budget=args.memory_budget)
+                                        memory_budget=args.memory_budget,
+                                        pipeline=args.passes,
+                                        verify_ir=args.verify_ir,
+                                        dump_ir=args.dump_ir)
+            except PassVerificationError as exc:
+                print(f"error: {type(exc).__name__}: {exc}",
+                      file=sys.stderr)
+                return 2
             except GovernorError as exc:
                 print(f"error: {type(exc).__name__}: {exc}",
                       file=sys.stderr)
@@ -207,6 +223,8 @@ def _cmd_run_sql(args) -> int:
             set_profile(None)
 
     _print_table(result, args.limit)
+    if hp is not None and args.dump_ir is not None:
+        print(f"-- per-pass IR snapshots written under {args.dump_ir}")
     if tracer is not None:
         _emit_trace_outputs(args, tracer)
     if profile is not None:
@@ -275,14 +293,32 @@ def _write_metrics_json(path: str, hp=None) -> None:
     print(f"-- metrics written to {path}")
 
 
+def _validate_passes(args) -> None:
+    """Reject a bad ``--passes`` spec before any table loads."""
+    if args.passes is None:
+        return
+    from repro.core.passes import resolve_pipeline
+    try:
+        resolve_pipeline(args.passes)
+    except OptimizerError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
 def _cmd_compile_sql(args) -> int:
     from repro.core.printer import print_module
     from repro.horsepower import HorsePowerSystem
 
+    _validate_passes(args)
     db = _load_tables(args)
     sql = args.query if args.query else sys.stdin.read()
     hp = HorsePowerSystem(db)
-    compiled = hp.compile_sql(sql)
+    try:
+        compiled = hp.compile_sql(sql, pipeline=args.passes,
+                                  verify_ir=args.verify_ir,
+                                  dump_ir=args.dump_ir)
+    except PassVerificationError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
     print("-- logical plan (JSON) " + "-" * 40)
     print(json.dumps(compiled.plan_json, indent=2))
     print("-- HorseIR before optimization " + "-" * 32)
@@ -292,6 +328,14 @@ def _cmd_compile_sql(args) -> int:
     for index, source in enumerate(compiled.kernel_sources):
         print(f"-- fused kernel {index} " + "-" * 44)
         print(source)
+    stats = (compiled.report.optimize_stats
+             if compiled.report is not None else None)
+    if stats is not None and stats.pass_stats:
+        from repro.obs import format_pass_stats
+        print("-- pass statistics " + "-" * 44)
+        print(format_pass_stats(stats))
+    if args.dump_ir is not None:
+        print(f"-- per-pass IR snapshots written under {args.dump_ir}")
     print(f"-- compile time: {compiled.compile_seconds * 1000:.1f} ms")
     return 0
 
@@ -364,9 +408,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="generate TPC-H tables at this scale "
                               "factor")
 
+    def add_pipeline_args(sub):
+        sub.add_argument("--passes", metavar="SPEC",
+                         help="optimization pipeline: a preset (O0, "
+                              "O1, O2) or a comma-separated pass list "
+                              "run once in order, e.g. "
+                              "inline,constprop,dce (see docs/"
+                              "compiler_pipeline.md for the inventory)")
+        sub.add_argument("--verify-ir", action="store_true",
+                         help="re-verify the IR after every optimizer "
+                              "pass; exits 2 with the failing pass and "
+                              "statement on a violation")
+        sub.add_argument("--dump-ir", nargs="?", const="ir-dump",
+                         metavar="DIR",
+                         help="write numbered per-pass IR snapshots "
+                              "(000-input.hir, ...) under DIR (default "
+                              "ir-dump)")
+
     run_sql = commands.add_parser("run-sql",
                                   help="execute a SQL query")
     add_table_args(run_sql)
+    add_pipeline_args(run_sql)
     run_sql.add_argument("query", nargs="?",
                          help="SQL text (reads stdin when omitted)")
     run_sql.add_argument("--system", choices=("horsepower", "monetdb"),
@@ -445,6 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
     compile_sql = commands.add_parser(
         "compile-sql", help="show plan, HorseIR and fused kernels")
     add_table_args(compile_sql)
+    add_pipeline_args(compile_sql)
     compile_sql.add_argument("query", nargs="?")
     compile_sql.set_defaults(fn=_cmd_compile_sql)
 

@@ -36,6 +36,7 @@ from repro.core.codegen.executor import DEFAULT_CHUNK_SIZE, run_kernel
 from repro.core.codegen.pygen import CompiledKernel, generate_kernel
 from repro.core.context import QueryContext, ensure_context
 from repro.core.optimizer import OptimizeStats, optimize
+from repro.core.passes import resolve_pipeline
 from repro.core.optimizer.fusion import (
     FusedItem, IfItem, OpaqueItem, ReturnItem, WhileItem, segment_method,
 )
@@ -362,8 +363,9 @@ def compile_module(module: ir.Module, opt_level: str = "opt",
                    entry: str | None = None,
                    backend: str = "python",
                    ctx: QueryContext | None = None,
-                   kernel_factory: KernelFactory | None = None) \
-        -> CompiledProgram:
+                   kernel_factory: KernelFactory | None = None, *,
+                   pipeline=None, verify_ir: bool = False,
+                   dump_ir: str | None = None) -> CompiledProgram:
     """Compile a HorseIR module at ``opt_level`` (``"naive"`` or
     ``"opt"``).
 
@@ -371,7 +373,12 @@ def compile_module(module: ir.Module, opt_level: str = "opt",
     omitted, ``backend`` selects a built-in one: ``"python"`` (generated
     NumPy kernels, always available) or ``"c"`` (emitted C + OpenMP via
     gcc, per-segment with Python fallback).  Spans and compile metrics
-    go to ``ctx`` (the ambient process context when not given)."""
+    go to ``ctx`` (the ambient process context when not given).
+
+    ``pipeline`` overrides the optimization preset the level implies
+    (``"opt"`` → ``O2``, ``"naive"`` → ``O0``, which has no IR passes);
+    ``verify_ir=True`` re-verifies the IR after every pass and
+    ``dump_ir`` names a directory for per-pass IR snapshots."""
     ctx = ensure_context(ctx)
     if opt_level not in ("naive", "opt"):
         raise ValueError(f"unknown opt level {opt_level!r}")
@@ -381,6 +388,7 @@ def compile_module(module: ir.Module, opt_level: str = "opt",
         if backend == "c" and not c_backend_available():
             raise ValueError("the C backend needs gcc on PATH")
         kernel_factory = _BUILTIN_FACTORIES[backend]
+    pipeline = resolve_pipeline(pipeline, opt_level=opt_level)
     tracer = ctx.tracer
     with tracer.span("compile", opt_level=opt_level,
                      backend=backend) as compile_span:
@@ -389,12 +397,17 @@ def compile_module(module: ir.Module, opt_level: str = "opt",
 
         stats: OptimizeStats | None = None
         optimize_seconds = 0.0
-        if opt_level == "opt":
+        if pipeline.ir_passes or verify_ir or dump_ir is not None:
             opt_start = time.perf_counter()
-            with tracer.span("optimize"):
+            with tracer.span("optimize") as opt_span:
                 module, stats = optimize(module, entry=entry,
                                          tracer=tracer,
-                                         limits=ctx.limits)
+                                         limits=ctx.limits,
+                                         pipeline=pipeline,
+                                         metrics=ctx.metrics,
+                                         span=opt_span,
+                                         verify_ir=verify_ir,
+                                         dump_ir=dump_ir)
                 verify_module(module)
             optimize_seconds = time.perf_counter() - opt_start
 

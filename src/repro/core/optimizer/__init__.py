@@ -15,8 +15,16 @@ Passes, in pipeline order:
 
 :func:`optimize` runs 1-6 and returns the rewritten module; segmenting
 (pass 7) happens in the compiler because its output is a plan, not IR.
+
+Since the pass-manager refactor, every pass above is a registered
+:class:`~repro.core.passes.Pass` object and :func:`optimize` is a
+preset invocation of the :class:`~repro.core.passes.PassManager`
+(``O2`` = the list above; ``O1`` drops patterns; ``O0`` runs no IR
+passes at all).  See ``docs/compiler_pipeline.md``.
 """
 
-from repro.core.optimizer.pipeline import OptimizeStats, optimize  # noqa: F401
+from repro.core.optimizer.pipeline import (  # noqa: F401
+    OptimizeStats, PassStat, optimize,
+)
 
-__all__ = ["optimize", "OptimizeStats"]
+__all__ = ["optimize", "OptimizeStats", "PassStat"]

@@ -5,52 +5,34 @@ inlining first (the cross-optimization enabler), then scalar cleanups
 (constants, copies, CSE), backward slicing, and pattern-based fusion.
 Automatic loop fusion itself runs in the compiler, because its result is an
 execution plan rather than IR.
+
+Since the pass-manager refactor this module is a thin preset invocation:
+the pass order, fixed-point rounds, spans and statistics live in
+:mod:`repro.core.passes`, and ``optimize(...)`` is exactly
+``PassManager(preset("O2")).run_module(...)`` (``O1`` when
+``enable_patterns=False``).  Callers wanting custom pipelines,
+inter-pass verification or IR dumps pass ``pipeline=`` / ``verify_ir=``
+/ ``dump_ir=`` straight through.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
 from repro.core import ir
-from repro.core.optimizer.constprop import propagate_constants
-from repro.core.optimizer.copyprop import propagate_copies
-from repro.core.optimizer.cse import eliminate_common_subexpressions
-from repro.core.optimizer.dce import eliminate_dead_code
-from repro.core.optimizer.inline import inline_methods
-from repro.core.optimizer.patterns import (apply_patterns,
-                                            forward_list_items)
-from repro.core.limits import NULL_LIMITS
-from repro.obs import get_tracer
+from repro.core.passes import (MAX_ROUNDS, OptimizeStats, PassManager,
+                               PassStat, resolve_pipeline)
 
-__all__ = ["optimize", "OptimizeStats"]
+__all__ = ["optimize", "OptimizeStats", "PassStat"]
 
-_MAX_ROUNDS = 16
-
-
-@dataclass
-class OptimizeStats:
-    """What the pipeline did — surfaced by examples and benchmarks."""
-
-    rounds: int = 0
-    inlined_methods_removed: int = 0
-    passes_applied: list[str] = field(default_factory=list)
-    elapsed_seconds: float = 0.0
-
-
-#: The rewrite passes of the fixed-point loop, in the paper's order.
-_ROUND_PASSES = (
-    ("list-forwarding", forward_list_items),
-    ("constprop", propagate_constants),
-    ("copyprop", propagate_copies),
-    ("cse", eliminate_common_subexpressions),
-    ("dce", eliminate_dead_code),
-)
+#: Fixed-point round budget (re-exported for backward compatibility).
+_MAX_ROUNDS = MAX_ROUNDS
 
 
 def optimize(module: ir.Module, *, entry: str | None = None,
              enable_patterns: bool = True,
-             tracer=None, limits=None) -> tuple[ir.Module, OptimizeStats]:
+             tracer=None, limits=None, pipeline=None, metrics=None,
+             span=None, verify_ir: bool = False,
+             dump_ir: str | None = None) \
+        -> tuple[ir.Module, OptimizeStats]:
     """Optimize ``module``; returns a new module and pass statistics.
 
     ``tracer`` names where per-pass spans go; ``None`` falls back to the
@@ -58,84 +40,20 @@ def optimize(module: ir.Module, *, entry: str | None = None,
     ``ctx.tracer``).  ``limits`` is the query's
     :class:`~repro.core.limits.QueryLimits` checkpoint surface, checked
     once per pass so a deadline can cancel a pathological optimization
-    (``None`` means ungoverned)."""
-    stats = OptimizeStats()
-    if tracer is None:
-        tracer = get_tracer()
-    if limits is None:
-        limits = NULL_LIMITS
-    start = time.perf_counter()
+    (``None`` means ungoverned).
 
-    before = len(module.methods)
-    if limits.enabled:
-        limits.check("pass:inline")
-    with tracer.span("pass:inline", methods_before=before):
-        module = inline_methods(module, entry=entry)
-    stats.inlined_methods_removed = before - len(module.methods)
-    if stats.inlined_methods_removed:
-        stats.passes_applied.append("inline")
-
-    for round_index in range(_MAX_ROUNDS):
-        changed = False
-        for method in module.methods.values():
-            for name, pass_fn in _ROUND_PASSES:
-                if _run_pass(stats, tracer, name, pass_fn, method,
-                             round_index, limits=limits):
-                    changed = True
-        stats.rounds = round_index + 1
-        if not changed:
-            break
-
-    if enable_patterns:
-        for method in module.methods.values():
-            _run_pass(stats, tracer, "patterns", apply_patterns, method,
-                      limits=limits)
-        # Pattern rewrites can orphan mask definitions; sweep once more.
-        for method in module.methods.values():
-            eliminate_dead_code(method)
-
-    stats.elapsed_seconds = time.perf_counter() - start
-    return module, stats
-
-
-def _run_pass(stats: OptimizeStats, tracer, name: str, pass_fn,
-              method: ir.Method, round_index: int | None = None,
-              limits=NULL_LIMITS) -> bool:
-    """Run one pass over one method, noting it in ``stats`` and (when
-    tracing) recording a per-pass span with before/after statement
-    counts.  Each pass is a cooperative cancellation checkpoint."""
-    if limits.enabled:
-        limits.check(f"pass:{name}")
-    if not tracer.enabled:
-        changed = pass_fn(method)
-    else:
-        attrs = {"method": method.name}
-        if round_index is not None:
-            attrs["round"] = round_index
-        with tracer.span(f"pass:{name}", **attrs) as span:
-            before = _count_statements(method.body)
-            changed = pass_fn(method)
-            span.set(stmts_before=before,
-                     stmts_after=_count_statements(method.body),
-                     changed=changed)
-    if changed:
-        _note(stats, name)
-    return changed
-
-
-def _count_statements(body: list[ir.Stmt]) -> int:
-    """Statements in a method body, descending into control flow."""
-    count = 0
-    for stmt in body:
-        count += 1
-        if isinstance(stmt, ir.If):
-            count += _count_statements(stmt.then_body)
-            count += _count_statements(stmt.else_body)
-        elif isinstance(stmt, ir.While):
-            count += _count_statements(stmt.body)
-    return count
-
-
-def _note(stats: OptimizeStats, name: str) -> None:
-    if name not in stats.passes_applied:
-        stats.passes_applied.append(name)
+    ``pipeline`` overrides the preset (a name, a comma list of pass
+    names, or a :class:`~repro.core.passes.Pipeline`); when given,
+    ``enable_patterns`` is ignored.  ``metrics`` receives the
+    ``optimizer.fixed_point_exhausted`` counter and ``span`` (the
+    enclosing ``optimize`` span) its annotation when the fixed-point
+    round budget runs out.  ``verify_ir=True`` re-verifies the IR after
+    every pass (:class:`~repro.errors.PassVerificationError` on
+    failure); ``dump_ir`` names a directory for per-pass IR snapshots.
+    """
+    if pipeline is None:
+        pipeline = "O2" if enable_patterns else "O1"
+    pipeline = resolve_pipeline(pipeline)
+    manager = PassManager(pipeline, verify=verify_ir, dump_dir=dump_ir)
+    return manager.run_module(module, entry=entry, tracer=tracer,
+                              limits=limits, metrics=metrics, span=span)

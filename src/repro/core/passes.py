@@ -1,0 +1,610 @@
+"""The unified compilation pass pipeline (paper Section 3.4).
+
+HorsePower's claim is that *one* optimizer working across the SQL/UDF
+boundary beats two black-box stacks.  This module is that one
+optimizer's skeleton: a :class:`Pass` protocol, a :class:`Pipeline`
+(an ordered pass list with a cache-key fingerprint), and a
+:class:`PassManager` that owns ordering, fixed-point rounds, per-pass
+timing/rewrite statistics, per-pass tracer spans, optional inter-pass
+verification (``--verify-ir``), and optional IR dumps
+(``--dump-ir``).  Both of the historical pipelines run on it:
+
+* the HorseIR rewrites — ``inline``, then the fixed-point group
+  ``list-forwarding``/``constprop``/``copyprop``/``cse``/``dce``, then
+  ``patterns`` (plus a silent post-pattern DCE sweep) — via
+  :meth:`PassManager.run_module`, which
+  :func:`repro.core.optimizer.pipeline.optimize` delegates to;
+* the SQL plan rewrites — ``predicate-pushdown`` and
+  ``column-pruning``, extracted from :mod:`repro.sql.planner` — via
+  :meth:`PassManager.run_plan`, invoked by
+  :func:`repro.sql.planner.plan_query`.
+
+Three named presets map onto the historical opt levels:
+
+========  ==========================================================
+preset    passes
+========  ==========================================================
+``O0``    plan passes only (the ``"naive"`` profile: pushdown and
+          pruning always ran, even for the baseline system)
+``O1``    ``O0`` + inline + the fixed-point scalar group
+          (``optimize(enable_patterns=False)``)
+``O2``    ``O1`` + pattern fusion rewrites + cleanup DCE (the full
+          ``"opt"`` profile — the default)
+========  ==========================================================
+
+A custom ``--passes a,b,c`` list runs each named pass **once, in the
+given order** (no fixed point); its fingerprint ``custom(a,b,c)`` keys
+plan-cache entries distinctly from every preset.
+
+Automatic loop fusion is *not* a pass here: segmentation's output is an
+execution plan, not IR, so it stays in the compiler.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.core import ir
+from repro.core.limits import NULL_LIMITS
+from repro.errors import HorseVerifyError, OptimizerError, \
+    PassVerificationError
+from repro.obs import get_tracer
+
+__all__ = [
+    "Pass", "MethodPass", "ModulePass", "PlanPass", "Pipeline",
+    "PassManager", "PassStat", "OptimizeStats", "resolve_pipeline",
+    "preset", "custom_pipeline", "registered_pass_names",
+    "PRESET_NAMES", "MAX_ROUNDS", "DEFAULT_DUMP_DIR",
+]
+
+#: Fixed-point round budget (unchanged from the historical pipeline).
+MAX_ROUNDS = 16
+
+PRESET_NAMES = ("O0", "O1", "O2")
+
+#: Where ``--dump-ir`` writes when no directory is given.
+DEFAULT_DUMP_DIR = "ir-dump"
+
+
+# ---------------------------------------------------------------------------
+# statistics
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PassStat:
+    """One pass's aggregate activity inside a single pipeline run.
+
+    ``runs`` counts invocations (one per method per round for
+    method-level passes), ``rewrites`` the invocations that changed
+    anything, ``seconds`` the summed wall time."""
+
+    name: str
+    level: str
+    runs: int = 0
+    rewrites: int = 0
+    seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "level": self.level,
+                "runs": self.runs, "rewrites": self.rewrites,
+                "seconds": self.seconds}
+
+
+@dataclass
+class OptimizeStats:
+    """What the pipeline did — surfaced by examples and benchmarks.
+
+    The first four fields predate the pass manager and keep their exact
+    historical semantics; ``pipeline`` (the fingerprint),
+    ``fixed_point_exhausted`` and the per-pass ``pass_stats`` rows are
+    the manager's additions."""
+
+    rounds: int = 0
+    inlined_methods_removed: int = 0
+    passes_applied: list[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    pipeline: str = ""
+    fixed_point_exhausted: bool = False
+    pass_stats: list[PassStat] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# the Pass protocol
+# ---------------------------------------------------------------------------
+
+class Pass:
+    """One rewrite rule as a first-class object.
+
+    ``level`` names the unit ``run`` consumes: ``"plan"`` (a logical
+    plan tree — returns the rewritten tree), ``"module"`` (a whole
+    :class:`~repro.core.ir.Module` — returns the rewritten module) or
+    ``"method"`` (one method, mutated in place — returns whether
+    anything changed).  ``invalidates`` is an advisory tuple of
+    analysis names downstream passes may no longer trust (pure
+    documentation today; the manager re-derives everything per pass).
+    """
+
+    level: str = "method"
+    #: Member of the manager's fixed-point group (contiguous
+    #: fixed-point passes iterate together until quiescent).
+    fixed_point: bool = False
+    #: Emit a ``pass:<name>`` tracer span per application.
+    traced: bool = True
+    #: Record activity in ``OptimizeStats`` (False for internal
+    #: cleanup sweeps, which stay invisible, as they always were).
+    records: bool = True
+    #: Cooperative-cancellation checkpoint before each application.
+    checkpoint: bool = True
+    invalidates: tuple = ()
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def run(self, unit, ctx):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class MethodPass(Pass):
+    """A per-method rewrite: ``fn(method) -> bool`` (mutating)."""
+
+    level = "method"
+
+    def __init__(self, name: str, fn, *, fixed_point: bool = False,
+                 traced: bool = True, records: bool = True,
+                 checkpoint: bool = True, invalidates: tuple = ()):
+        super().__init__(name)
+        self.fn = fn
+        self.fixed_point = fixed_point
+        self.traced = traced
+        self.records = records
+        self.checkpoint = checkpoint
+        self.invalidates = tuple(invalidates)
+
+    def run(self, method: ir.Method, ctx=None) -> bool:
+        return self.fn(method)
+
+
+class ModulePass(Pass):
+    """A whole-module rewrite: ``fn(module, entry) -> module``."""
+
+    level = "module"
+
+    def __init__(self, name: str, fn, *, invalidates: tuple = ()):
+        super().__init__(name)
+        self.fn = fn
+        self.invalidates = tuple(invalidates)
+
+    def run(self, module: ir.Module, ctx=None) -> ir.Module:
+        entry = getattr(ctx, "entry", None) if ctx is not None else None
+        return self.fn(module, entry)
+
+
+class PlanPass(Pass):
+    """A logical-plan rewrite: ``fn(plan, udfs) -> plan``.
+
+    Plan passes are untraced by default: the historical planner emitted
+    no per-rule spans, and the EXPLAIN ANALYZE goldens pin the ``plan``
+    span childless.  Their timing still lands in the manager's
+    :class:`PassStat` rows."""
+
+    level = "plan"
+    traced = False
+    checkpoint = False
+
+    def __init__(self, name: str, fn, *, invalidates: tuple = ()):
+        super().__init__(name)
+        self.fn = fn
+        self.invalidates = tuple(invalidates)
+
+    def run(self, plan, ctx=None):
+        udfs = getattr(ctx, "udfs", None) if ctx is not None else None
+        return self.fn(plan, udfs)
+
+
+# ---------------------------------------------------------------------------
+# the registry
+# ---------------------------------------------------------------------------
+
+def _make_ir_pass(name: str, *, fixed_point: bool) -> Pass:
+    # Imported lazily: repro.core.optimizer.* → optimizer/__init__ →
+    # pipeline.py, which imports this module at its top.
+    from repro.core.optimizer.constprop import propagate_constants
+    from repro.core.optimizer.copyprop import propagate_copies
+    from repro.core.optimizer.cse import eliminate_common_subexpressions
+    from repro.core.optimizer.dce import eliminate_dead_code
+    from repro.core.optimizer.inline import inline_methods
+    from repro.core.optimizer.patterns import (apply_patterns,
+                                               forward_list_items)
+
+    if name == "inline":
+        return ModulePass("inline", inline_methods,
+                          invalidates=("callgraph",))
+    fns = {
+        "list-forwarding": (forward_list_items, ("use-chains",)),
+        "constprop": (propagate_constants, ("constants",)),
+        "copyprop": (propagate_copies, ("copies",)),
+        "cse": (eliminate_common_subexpressions, ("use-chains",)),
+        "dce": (eliminate_dead_code, ("liveness",)),
+        "patterns": (apply_patterns, ("use-chains", "liveness")),
+    }
+    fn, invalidates = fns[name]
+    return MethodPass(name, fn, fixed_point=fixed_point,
+                      invalidates=invalidates)
+
+
+def _make_plan_pass(name: str) -> Pass:
+    # Lazy for the same reason in the other direction: repro.sql
+    # depends on repro.core, never vice versa at import time.
+    from repro.sql.plan_passes import prune_columns, push_predicates
+
+    fns = {
+        "predicate-pushdown": (push_predicates, ("cardinality",)),
+        "column-pruning": (prune_columns, ("schema",)),
+    }
+    fn, invalidates = fns[name]
+    return PlanPass(name, fn, invalidates=invalidates)
+
+
+#: Plan-level pass names, in the order every pipeline applies them.
+_PLAN_PASS_NAMES = ("predicate-pushdown", "column-pruning")
+
+#: The fixed-point scalar group, in the paper's order.
+_ROUND_PASS_NAMES = ("list-forwarding", "constprop", "copyprop", "cse",
+                     "dce")
+
+_IR_PASS_NAMES = ("inline",) + _ROUND_PASS_NAMES + ("patterns",)
+
+
+def registered_pass_names() -> tuple[str, ...]:
+    """Every name ``--passes`` accepts, in canonical order."""
+    return _PLAN_PASS_NAMES + _IR_PASS_NAMES
+
+
+def _make_pass(name: str, *, fixed_point: bool = False) -> Pass:
+    if name in _PLAN_PASS_NAMES:
+        return _make_plan_pass(name)
+    if name in _IR_PASS_NAMES:
+        return _make_ir_pass(name, fixed_point=fixed_point)
+    known = ", ".join(registered_pass_names())
+    raise OptimizerError(
+        f"unknown pass {name!r}; registered passes: {known}")
+
+
+def _cleanup_dce_pass() -> Pass:
+    """The silent post-pattern sweep: pattern rewrites can orphan mask
+    definitions.  Untraced, unrecorded, uncheckpointed — exactly as the
+    historical pipeline ran it."""
+    from repro.core.optimizer.dce import eliminate_dead_code
+
+    return MethodPass("dce", eliminate_dead_code, traced=False,
+                      records=False, checkpoint=False)
+
+
+# ---------------------------------------------------------------------------
+# pipelines
+# ---------------------------------------------------------------------------
+
+class Pipeline:
+    """An ordered pass list with a stable cache-key fingerprint.
+
+    Presets fingerprint as their name (``"O2"``); ad-hoc lists as
+    ``custom(<names>)`` — so ``--passes`` variants can never collide
+    with preset plan-cache entries."""
+
+    def __init__(self, name: str, passes: list[Pass], *,
+                 is_preset: bool = False):
+        self.name = name
+        self.passes = list(passes)
+        self.is_preset = is_preset
+
+    @property
+    def plan_passes(self) -> list[Pass]:
+        return [p for p in self.passes if p.level == "plan"]
+
+    @property
+    def ir_passes(self) -> list[Pass]:
+        return [p for p in self.passes if p.level != "plan"]
+
+    def fingerprint(self) -> str:
+        if self.is_preset:
+            return self.name
+        return "custom(" + ",".join(p.name for p in self.passes) + ")"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Pipeline {self.fingerprint()} "
+                f"[{', '.join(p.name for p in self.passes)}]>")
+
+
+def preset(name: str) -> Pipeline:
+    """A fresh instance of one of the named presets."""
+    if name not in PRESET_NAMES:
+        raise OptimizerError(
+            f"unknown pipeline preset {name!r}; "
+            f"known: {', '.join(PRESET_NAMES)}")
+    passes = [_make_plan_pass(n) for n in _PLAN_PASS_NAMES]
+    if name in ("O1", "O2"):
+        passes.append(_make_ir_pass("inline", fixed_point=False))
+        passes.extend(_make_ir_pass(n, fixed_point=True)
+                      for n in _ROUND_PASS_NAMES)
+    if name == "O2":
+        passes.append(_make_ir_pass("patterns", fixed_point=False))
+        passes.append(_cleanup_dce_pass())
+    return Pipeline(name, passes, is_preset=True)
+
+
+def custom_pipeline(names) -> Pipeline:
+    """An ad-hoc pipeline running each named pass once, in order."""
+    names = [str(n).strip() for n in names if str(n).strip()]
+    if not names:
+        raise OptimizerError("empty pass list")
+    passes = [_make_pass(n) for n in names]
+    return Pipeline("custom", passes)
+
+
+def resolve_pipeline(spec, opt_level: str = "opt") -> Pipeline:
+    """Normalize a pipeline spec to a :class:`Pipeline`.
+
+    ``None`` maps the historical opt levels onto presets (``"opt"`` →
+    ``O2``, ``"naive"`` → ``O0``); a preset name returns that preset; a
+    comma-separated string or a list of names builds a custom
+    pipeline; a :class:`Pipeline` passes through."""
+    if spec is None:
+        return preset("O2" if opt_level == "opt" else "O0")
+    if isinstance(spec, Pipeline):
+        return spec
+    if isinstance(spec, (list, tuple)):
+        return custom_pipeline(spec)
+    text = str(spec).strip()
+    if text in PRESET_NAMES:
+        return preset(text)
+    return custom_pipeline(text.split(","))
+
+
+# ---------------------------------------------------------------------------
+# the manager
+# ---------------------------------------------------------------------------
+
+class _PassContext:
+    """What a pass application sees (the manager's slice of the query
+    context, kept tiny so passes stay functions)."""
+
+    __slots__ = ("entry", "udfs")
+
+    def __init__(self, entry=None, udfs=None):
+        self.entry = entry
+        self.udfs = udfs
+
+
+class PassManager:
+    """Runs one :class:`Pipeline` over a plan and/or a module.
+
+    One instance serves one compilation: ``run_plan`` during planning,
+    ``run_module`` during optimization.  ``verify=True`` re-verifies
+    the IR after every pass application
+    (:exc:`~repro.errors.PassVerificationError` names the offending
+    pass and statement); ``dump_dir`` writes numbered IR snapshots
+    before the first pass and after every pass (per round inside the
+    fixed-point group) via the existing printer."""
+
+    def __init__(self, pipeline: Pipeline, *, verify: bool = False,
+                 dump_dir: str | None = None,
+                 max_rounds: int = MAX_ROUNDS):
+        self.pipeline = pipeline
+        self.verify = verify
+        self.dump_dir = dump_dir
+        self.max_rounds = max_rounds
+        self._dump_seq = 0
+        #: Per-pass stats rows, keyed by pass name (insertion-ordered).
+        self._stats_index: dict[str, PassStat] = {}
+
+    # -- plan side -----------------------------------------------------------
+
+    def run_plan(self, plan, *, udfs=None, stats: OptimizeStats | None
+                 = None):
+        """Apply the pipeline's plan-level passes to ``plan``."""
+        pctx = _PassContext(udfs=udfs)
+        for ps in self.pipeline.plan_passes:
+            start = time.perf_counter()
+            plan = ps.run(plan, pctx)
+            self._record(stats, ps, True, time.perf_counter() - start)
+        return plan
+
+    # -- IR side -------------------------------------------------------------
+
+    def run_module(self, module: ir.Module, *, entry: str | None = None,
+                   tracer=None, limits=None, metrics=None, span=None) \
+            -> tuple[ir.Module, OptimizeStats]:
+        """Apply the pipeline's IR passes; returns ``(module, stats)``.
+
+        ``tracer``/``limits`` default to the ambient tracer and the
+        ungoverned limits, matching the historical ``optimize``;
+        ``metrics`` (optional) receives the
+        ``optimizer.fixed_point_exhausted`` counter, and ``span``
+        (the enclosing ``optimize`` span, optional) is annotated when
+        the fixed point is exhausted."""
+        if tracer is None:
+            tracer = get_tracer()
+        if limits is None:
+            limits = NULL_LIMITS
+        stats = OptimizeStats(pipeline=self.pipeline.fingerprint())
+        stats.pass_stats = []
+        self._stats_index = {}
+        start = time.perf_counter()
+        pctx = _PassContext(entry=entry)
+        self._verify_module("input", module)
+        self._dump_module(module, "input")
+        passes = self.pipeline.ir_passes
+        index = 0
+        while index < len(passes):
+            ps = passes[index]
+            if ps.fixed_point:
+                group = []
+                while index < len(passes) and passes[index].fixed_point:
+                    group.append(passes[index])
+                    index += 1
+                module = self._run_fixed_point(
+                    module, group, stats, tracer, limits, metrics, span)
+            elif ps.level == "module":
+                module = self._run_module_pass(
+                    module, ps, stats, pctx, tracer, limits)
+                index += 1
+            else:
+                for method in module.methods.values():
+                    self._apply_to_method(ps, method, module, stats,
+                                          tracer, limits, None)
+                self._dump_module(module, ps.name)
+                index += 1
+        stats.elapsed_seconds = time.perf_counter() - start
+        return module, stats
+
+    # -- internals -----------------------------------------------------------
+
+    def _run_module_pass(self, module, ps, stats, pctx, tracer, limits):
+        methods_before = len(module.methods)
+        if ps.checkpoint and limits.enabled:
+            limits.check(f"pass:{ps.name}")
+        start = time.perf_counter()
+        if ps.traced:
+            with tracer.span(f"pass:{ps.name}",
+                             methods_before=methods_before):
+                module = ps.run(module, pctx)
+        else:
+            module = ps.run(module, pctx)
+        elapsed = time.perf_counter() - start
+        removed = methods_before - len(module.methods)
+        if ps.name == "inline":
+            stats.inlined_methods_removed = removed
+        changed = removed > 0
+        if changed and ps.records:
+            _note(stats, ps.name)
+        if ps.records:
+            self._record(stats, ps, changed, elapsed)
+        self._verify_module(ps.name, module)
+        self._dump_module(module, ps.name)
+        return module
+
+    def _run_fixed_point(self, module, group, stats, tracer, limits,
+                         metrics, span):
+        exhausted = False
+        for round_index in range(self.max_rounds):
+            changed = False
+            for method in module.methods.values():
+                for ps in group:
+                    if self._apply_to_method(ps, method, module, stats,
+                                             tracer, limits,
+                                             round_index):
+                        changed = True
+            stats.rounds = round_index + 1
+            self._dump_module(module, f"round{round_index}")
+            if not changed:
+                break
+        else:
+            # The budget ran out with the last round still rewriting:
+            # the historical pipeline returned silently here.
+            exhausted = True
+        if exhausted:
+            stats.fixed_point_exhausted = True
+            if metrics is not None:
+                metrics.counter(
+                    "optimizer.fixed_point_exhausted").inc()
+            if span is not None:
+                span.set(fixed_point_exhausted=True,
+                         rounds=stats.rounds)
+        return module
+
+    def _apply_to_method(self, ps, method, module, stats, tracer,
+                         limits, round_index) -> bool:
+        if ps.checkpoint and limits.enabled:
+            limits.check(f"pass:{ps.name}")
+        start = time.perf_counter()
+        if not ps.traced or not tracer.enabled:
+            changed = ps.run(method)
+        else:
+            attrs = {"method": method.name}
+            if round_index is not None:
+                attrs["round"] = round_index
+            with tracer.span(f"pass:{ps.name}", **attrs) as span:
+                before = _count_statements(method.body)
+                changed = ps.run(method)
+                span.set(stmts_before=before,
+                         stmts_after=_count_statements(method.body),
+                         changed=changed)
+        elapsed = time.perf_counter() - start
+        if changed and ps.records:
+            _note(stats, ps.name)
+        if ps.records:
+            self._record(stats, ps, changed, elapsed)
+        self._verify_method(ps.name, method, module)
+        return changed
+
+    def _record(self, stats, ps, changed, elapsed) -> None:
+        if stats is None:
+            return
+        stat = self._stats_index.get(ps.name)
+        if stat is None:
+            stat = PassStat(ps.name, ps.level)
+            self._stats_index[ps.name] = stat
+            stats.pass_stats.append(stat)
+        stat.runs += 1
+        if changed:
+            stat.rewrites += 1
+        stat.seconds += elapsed
+
+    # -- verification --------------------------------------------------------
+
+    def _verify_module(self, pass_name, module) -> None:
+        if not self.verify:
+            return
+        from repro.core.verify_ir import verify_ir_module
+        try:
+            verify_ir_module(module)
+        except HorseVerifyError as exc:
+            raise PassVerificationError(pass_name, str(exc)) from exc
+
+    def _verify_method(self, pass_name, method, module) -> None:
+        if not self.verify:
+            return
+        from repro.core.verify_ir import verify_ir_method
+        try:
+            verify_ir_method(method, module)
+        except HorseVerifyError as exc:
+            raise PassVerificationError(pass_name, str(exc),
+                                        method=method.name) from exc
+
+    # -- dumps ---------------------------------------------------------------
+
+    def _dump_module(self, module, label: str) -> None:
+        if not self.dump_dir:
+            return
+        from repro.core.printer import print_module
+        os.makedirs(self.dump_dir, exist_ok=True)
+        safe = label.replace("/", "_")
+        path = os.path.join(self.dump_dir,
+                            f"{self._dump_seq:03d}-{safe}.hir")
+        with open(path, "w") as handle:
+            handle.write(print_module(module))
+            handle.write("\n")
+        self._dump_seq += 1
+
+
+def _count_statements(body: list[ir.Stmt]) -> int:
+    """Statements in a method body, descending into control flow."""
+    count = 0
+    for stmt in body:
+        count += 1
+        if isinstance(stmt, ir.If):
+            count += _count_statements(stmt.then_body)
+            count += _count_statements(stmt.else_body)
+        elif isinstance(stmt, ir.While):
+            count += _count_statements(stmt.body)
+    return count
+
+
+def _note(stats: OptimizeStats, name: str) -> None:
+    if name not in stats.passes_applied:
+        stats.passes_applied.append(name)

@@ -1,0 +1,112 @@
+"""Inter-pass structural verification of HorseIR (``--verify-ir``).
+
+The baseline verifier (:mod:`repro.core.verify`) runs once per compile,
+before and after optimization.  This module is the *inter-pass* variant
+the :class:`~repro.core.passes.PassManager` can run after every pass
+application: the same structural invariants, hardened so that any
+failure — including ones the baseline verifier reports as other error
+types — surfaces as a :class:`~repro.errors.HorseVerifyError` naming
+the offending statement:
+
+* SSA-ish def-before-use: every variable is assigned before use on
+  every path (parameters count; ``if`` branches contribute only names
+  assigned on both arms, ``while`` bodies contribute nothing);
+* builtin calls resolve to *known* builtins with matching arity
+  (an unknown builtin is a verify error here, not a
+  :class:`~repro.errors.BuiltinError`);
+* method calls resolve inside the module with matching arity — no
+  dangling method references (the inliner's obligation);
+* declared/literal type consistency: an ``Assign`` whose right-hand
+  side is a plain literal (or a cast) must declare the type the
+  expression produces;
+* no orphaned statements: code after a ``return`` (or after an ``if``
+  whose branches both return) can never execute — the flat-IR analog
+  of an orphaned label — and every path ends in a ``return``.
+
+Pass authors get one entry point per granularity:
+:func:`verify_ir_method` after a method-level rewrite,
+:func:`verify_ir_module` after a module-level one.
+"""
+
+from __future__ import annotations
+
+from repro.core import builtins as hb
+from repro.core import ir
+from repro.core.printer import print_stmt
+from repro.core.verify import verify_method
+from repro.errors import BuiltinError, HorseVerifyError
+
+__all__ = ["verify_ir_module", "verify_ir_method"]
+
+
+def verify_ir_module(module: ir.Module) -> None:
+    """Check every method of ``module``; raises
+    :class:`HorseVerifyError` on the first violation."""
+    if not module.methods:
+        raise HorseVerifyError(f"module {module.name!r} has no methods")
+    for method in module.methods.values():
+        verify_ir_method(method, module)
+
+
+def verify_ir_method(method: ir.Method,
+                     module: ir.Module | None = None) -> None:
+    """Check one method (``module`` enables method-call resolution)."""
+    try:
+        verify_method(method, module)
+    except BuiltinError as exc:
+        # verify_method resolves builtins through ``hb.get``, which
+        # raises BuiltinError for unknown names; inter-pass
+        # verification reports it structurally instead.
+        raise HorseVerifyError(
+            f"unknown builtin in method {method.name!r}: "
+            f"{exc}") from exc
+    _check_body(method.body, method)
+
+
+def _check_body(body: list[ir.Stmt], method: ir.Method) -> None:
+    for index, stmt in enumerate(body):
+        if _stmt_terminates(stmt) and index + 1 < len(body):
+            raise HorseVerifyError(
+                f"orphaned statement after a return in method "
+                f"{method.name!r}: {print_stmt(body[index + 1])}")
+        if isinstance(stmt, ir.Assign):
+            _check_assign_types(stmt, method)
+        elif isinstance(stmt, ir.If):
+            _check_body(stmt.then_body, method)
+            _check_body(stmt.else_body, method)
+        elif isinstance(stmt, ir.While):
+            _check_body(stmt.body, method)
+
+
+def _stmt_terminates(stmt: ir.Stmt) -> bool:
+    if isinstance(stmt, ir.Return):
+        return True
+    if isinstance(stmt, ir.If) and stmt.else_body:
+        return (_body_terminates(stmt.then_body)
+                and _body_terminates(stmt.else_body))
+    return False
+
+
+def _body_terminates(body: list[ir.Stmt]) -> bool:
+    return bool(body) and _stmt_terminates(body[-1])
+
+
+def _check_assign_types(stmt: ir.Assign, method: ir.Method) -> None:
+    """Declared/produced type consistency for the expression forms
+    whose result type is statically known (plain literals and casts);
+    builtins and method calls are typed at runtime."""
+    declared = stmt.type
+    if declared is None:
+        return
+    expr = stmt.expr
+    if isinstance(expr, ir.Literal) and expr.type is not None:
+        produced = expr.type
+    elif isinstance(expr, ir.Cast):
+        produced = expr.type
+    else:
+        return
+    if produced != declared:
+        raise HorseVerifyError(
+            f"type mismatch in method {method.name!r}: "
+            f"{stmt.target!r} declares {declared} but its expression "
+            f"produces {produced} ({print_stmt(stmt)})")

@@ -58,6 +58,7 @@ from repro.core.compiler import (
 from repro.core.context import QueryContext, ensure_context
 from repro.core.interp import Interpreter
 from repro.core.optimizer import optimize
+from repro.core.passes import resolve_pipeline
 from repro.core.values import TableValue, Value
 from repro.core.verify import verify_module
 from repro.engine.executor import PlanExecutor
@@ -80,7 +81,11 @@ class CompilationUnit:
     """What the pipeline hands a backend to compile.
 
     HorseIR engines consume ``module``; the baseline consumes ``plan``.
-    ``plan_json`` and ``sql`` ride along as provenance."""
+    ``plan_json`` and ``sql`` ride along as provenance.  ``pipeline``
+    (a preset name, comma list, or
+    :class:`~repro.core.passes.Pipeline`) overrides the optimization
+    preset ``opt_level`` implies; ``verify_ir``/``dump_ir`` switch on
+    inter-pass verification and per-pass IR snapshots."""
 
     opt_level: str = "opt"
     module: ir.Module | None = None
@@ -88,6 +93,9 @@ class CompilationUnit:
     plan_json: dict | None = None
     udfs: object | None = None
     sql: str | None = None
+    pipeline: object | None = None
+    verify_ir: bool = False
+    dump_ir: str | None = None
 
 
 class Backend:
@@ -182,6 +190,8 @@ class InterpBackend(_HorseIRBackend):
         if unit.module is None:
             raise BackendError("interp backend needs a HorseIR module")
         ctx = ensure_context(ctx)
+        pipeline = resolve_pipeline(unit.pipeline,
+                                    opt_level=unit.opt_level)
         with ctx.tracer.span("compile", opt_level=unit.opt_level,
                              backend=self.name):
             start = time.perf_counter()
@@ -189,11 +199,17 @@ class InterpBackend(_HorseIRBackend):
             verify_module(module)
             stats = None
             optimize_seconds = 0.0
-            if unit.opt_level == "opt":
+            if pipeline.ir_passes or unit.verify_ir \
+                    or unit.dump_ir is not None:
                 opt_start = time.perf_counter()
-                with ctx.tracer.span("optimize"):
+                with ctx.tracer.span("optimize") as opt_span:
                     module, stats = optimize(module, tracer=ctx.tracer,
-                                             limits=ctx.limits)
+                                             limits=ctx.limits,
+                                             pipeline=pipeline,
+                                             metrics=ctx.metrics,
+                                             span=opt_span,
+                                             verify_ir=unit.verify_ir,
+                                             dump_ir=unit.dump_ir)
                     verify_module(module)
                 optimize_seconds = time.perf_counter() - opt_start
             total = time.perf_counter() - start
@@ -221,7 +237,10 @@ class PygenBackend(_HorseIRBackend):
             raise BackendError("pygen backend needs a HorseIR module")
         return compile_module(unit.module, unit.opt_level, ctx=ctx,
                               backend="python",
-                              kernel_factory=python_kernel_factory)
+                              kernel_factory=python_kernel_factory,
+                              pipeline=unit.pipeline,
+                              verify_ir=unit.verify_ir,
+                              dump_ir=unit.dump_ir)
 
 
 class CgenBackend(_HorseIRBackend):
@@ -248,7 +267,10 @@ class CgenBackend(_HorseIRBackend):
             raise BackendError("the C backend needs gcc on PATH")
         return compile_module(unit.module, unit.opt_level, ctx=ctx,
                               backend="c",
-                              kernel_factory=c_kernel_factory)
+                              kernel_factory=c_kernel_factory,
+                              pipeline=unit.pipeline,
+                              verify_ir=unit.verify_ir,
+                              dump_ir=unit.dump_ir)
 
 
 class BaselinePlan:

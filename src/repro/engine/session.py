@@ -31,6 +31,7 @@ from dataclasses import dataclass, replace
 
 from repro.core import types as ht
 from repro.core.context import QueryContext
+from repro.core.passes import resolve_pipeline
 from repro.core.execpool import ExecutorPool
 from repro.core.values import TableValue
 from repro.engine.backends import (
@@ -327,27 +328,42 @@ class EngineSession:
 
     # -- SQL ------------------------------------------------------------------
 
-    def plan_sql(self, sql: str, ctx: QueryContext | None = None):
+    def plan_sql(self, sql: str, ctx: QueryContext | None = None, *,
+                 pipeline=None):
         """Parse + plan; returns ``(plan, plan_json)`` — the logical
-        plan node and its JSON form (the translator's input)."""
+        plan node and its JSON form (the translator's input).
+
+        ``pipeline`` selects which plan-level rewrite passes run after
+        the raw plan is built (every preset runs predicate pushdown then
+        column pruning; a custom pass list runs exactly what it
+        names)."""
         ctx = self._ctx(ctx)
         with ctx.tracer.span("parse"):
             select = parse_sql(sql)
         with ctx.tracer.span("plan"):
-            plan = plan_query(select, self.db.catalog(), self.udfs)
+            plan = plan_query(select, self.db.catalog(), self.udfs,
+                              pipeline=pipeline)
             plan_json = plan_to_json(plan)
         return plan, plan_json
 
     def compile_sql(self, sql: str, opt_level: str = "opt",
                     backend: str | None = None,
-                    ctx: QueryContext | None = None) -> CompiledQuery:
+                    ctx: QueryContext | None = None, *,
+                    pipeline=None, verify_ir: bool = False,
+                    dump_ir: str | None = None) -> CompiledQuery:
         """Compile ``sql`` for one backend from the session registry
         (capability fallback applies: an unavailable backend degrades
-        along its declared chain)."""
+        along its declared chain).
+
+        ``pipeline`` overrides the pass preset ``opt_level`` implies for
+        both the plan-level and IR-level passes; ``verify_ir=True``
+        re-verifies the IR after every optimizer pass
+        (:class:`~repro.errors.PassVerificationError` on failure);
+        ``dump_ir`` names a directory for per-pass IR snapshots."""
         ctx = self._ctx(ctx)
         engine = self.backends.resolve(backend or self.default_backend,
                                        require=("sql",))
-        plan, plan_json = self.plan_sql(sql, ctx=ctx)
+        plan, plan_json = self.plan_sql(sql, ctx=ctx, pipeline=pipeline)
         module = None
         if "horseir" in engine.capabilities:
             from repro.horsepower.translate import build_query_module
@@ -355,37 +371,50 @@ class EngineSession:
                 module = build_query_module(plan_json, self.udfs)
         unit = CompilationUnit(opt_level=opt_level, module=module,
                                plan=plan, plan_json=plan_json,
-                               udfs=self.udfs, sql=sql)
+                               udfs=self.udfs, sql=sql,
+                               pipeline=pipeline, verify_ir=verify_ir,
+                               dump_ir=dump_ir)
         program = engine.compile(unit, ctx)
         return CompiledQuery(sql, plan_json, module, program, self,
                              backend=engine.name)
 
     def prepare(self, sql: str, opt_level: str = "opt",
                 backend: str | None = None, use_cache: bool = True,
-                ctx: QueryContext | None = None) -> PreparedQuery:
+                ctx: QueryContext | None = None, *,
+                pipeline=None, verify_ir: bool = False,
+                dump_ir: str | None = None) -> PreparedQuery:
         """Fetch (or compile and cache) the prepared form of ``sql``.
 
-        The cache key carries the resolved backend's canonical name plus
-        the catalog and UDF-registry fingerprints, so a schema change or
-        UDF registration can never serve a stale plan.  Backends that
-        do not advertise the ``prepared`` capability (the baseline)
-        bypass the cache, as does ``use_cache=False`` (no lookup, no
-        insert, no stats)."""
+        The cache key carries the resolved backend's canonical name,
+        the catalog and UDF-registry fingerprints, and the pass-pipeline
+        fingerprint, so a schema change, a UDF registration, or a
+        different ``--passes`` pipeline can never serve a stale plan.
+        Backends that do not advertise the ``prepared`` capability (the
+        baseline) bypass the cache, as do ``use_cache=False`` and the
+        debug modes (``verify_ir``/``dump_ir`` must actually compile to
+        verify or dump anything)."""
         ctx = self._ctx(ctx)
         engine = self.backends.resolve(backend or self.default_backend,
                                        require=("sql",))
-        use_cache = use_cache and "prepared" in engine.capabilities
+        use_cache = (use_cache and "prepared" in engine.capabilities
+                     and not verify_ir and dump_ir is None)
+        fingerprint = resolve_pipeline(
+            pipeline, opt_level=opt_level).fingerprint()
         with ctx.tracer.span("prepare") as span:
             key = self.plan_cache.key(sql, opt_level, engine.name,
                                       self.db.schema_fingerprint(),
-                                      self.udfs.fingerprint())
+                                      self.udfs.fingerprint(),
+                                      fingerprint)
             if use_cache:
                 cached = self.plan_cache.lookup(key)
                 if cached is not None:
                     span.set(cached=True)
                     return PreparedQuery(cached, cached=True, key=key)
             compiled = self.compile_sql(sql, opt_level,
-                                        backend=engine.name, ctx=ctx)
+                                        backend=engine.name, ctx=ctx,
+                                        pipeline=pipeline,
+                                        verify_ir=verify_ir,
+                                        dump_ir=dump_ir)
             if use_cache:
                 self.plan_cache.insert(key, compiled)
             span.set(cached=False)
@@ -397,6 +426,8 @@ class EngineSession:
                 ctx: QueryContext | None = None,
                 timeout: float | None = None,
                 memory_budget: int | None = None,
+                pipeline=None, verify_ir: bool = False,
+                dump_ir: str | None = None,
                 **kwargs) -> TableValue:
         """Prepare (cache permitting) and execute ``sql``, governed.
 
@@ -463,7 +494,8 @@ class EngineSession:
                         limits.check("admission")
                     result = self._run_governed(
                         sql, opt_level, backend, use_cache, ctx,
-                        n_threads, span, kwargs)
+                        n_threads, span, kwargs, pipeline=pipeline,
+                        verify_ir=verify_ir, dump_ir=dump_ir)
                     if record is not None:
                         span.set(rows_returned=result.num_rows)
                     if profile.enabled:
@@ -502,7 +534,9 @@ class EngineSession:
     def _run_governed(self, sql: str, opt_level: str,
                       backend: str | None, use_cache: bool,
                       ctx: QueryContext, n_threads: int, span,
-                      kwargs: dict) -> TableValue:
+                      kwargs: dict, *, pipeline=None,
+                      verify_ir: bool = False,
+                      dump_ir: str | None = None) -> TableValue:
         """Prepare + execute with graceful backend degradation.
 
         A :class:`HorseRuntimeError` out of a backend whose registry
@@ -519,7 +553,10 @@ class EngineSession:
         while True:
             try:
                 prepared = self.prepare(sql, opt_level, backend=name,
-                                        use_cache=use_cache, ctx=ctx)
+                                        use_cache=use_cache, ctx=ctx,
+                                        pipeline=pipeline,
+                                        verify_ir=verify_ir,
+                                        dump_ir=dump_ir)
                 return prepared.query.run(n_threads=n_threads, ctx=ctx,
                                           **kwargs)
             except _RETRYABLE_ERRORS as exc:
@@ -560,7 +597,9 @@ class EngineSession:
                        opt_level: str = "opt",
                        backend: str | None = None,
                        module_name: str = "MatlabModule",
-                       ctx: QueryContext | None = None) -> MatlabProgram:
+                       ctx: QueryContext | None = None, *,
+                       pipeline=None, verify_ir: bool = False,
+                       dump_ir: str | None = None) -> MatlabProgram:
         """MATLAB source → HorseIR → an executable on one of the
         session's backends."""
         ctx = self._ctx(ctx)
@@ -569,7 +608,8 @@ class EngineSession:
         module = matlab_to_module(source, param_specs,
                                   module_name=module_name)
         unit = CompilationUnit(opt_level=opt_level, module=module,
-                               udfs=self.udfs)
+                               udfs=self.udfs, pipeline=pipeline,
+                               verify_ir=verify_ir, dump_ir=dump_ir)
         compiled = engine.compile(unit, ctx)
         return MatlabProgram(module, compiled,
                              ctx=None if self._ambient_tracer else ctx)

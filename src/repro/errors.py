@@ -50,6 +50,28 @@ class OptimizerError(HorseIRError):
     """An optimization pass produced or encountered invalid IR."""
 
 
+class PassVerificationError(OptimizerError):
+    """Inter-pass IR verification failed (``--verify-ir`` mode).
+
+    Raised by the :class:`~repro.core.passes.PassManager` when the
+    structural verifier (:mod:`repro.core.verify_ir`) rejects the module
+    a pass just produced.  ``pass_name`` is the offending pass
+    (``"input"`` when the module was malformed before the first pass
+    ran), ``method`` the method it broke (None for module-level
+    failures), and ``detail`` the verifier's own message, which names
+    the offending statement."""
+
+    def __init__(self, pass_name: str, detail: str,
+                 method: str | None = None):
+        where = f" in method {method!r}" if method else ""
+        super().__init__(
+            f"IR verification failed after pass {pass_name!r}{where}: "
+            f"{detail}")
+        self.pass_name = pass_name
+        self.method = method
+        self.detail = detail
+
+
 class CodegenError(HorseIRError):
     """Kernel code generation failed."""
 

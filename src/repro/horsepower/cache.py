@@ -8,8 +8,10 @@ previously computed work across hybrid analytics pipelines:
 
 * :class:`PlanCache` — a thread-safe LRU of compiled queries keyed on
   ``(normalized SQL, opt level, backend, catalog fingerprint,
-  UDF-registry fingerprint)``.  Because both fingerprints are part of the
-  key, registering a UDF or changing the schema makes stale entries
+  UDF-registry fingerprint, pipeline fingerprint)``.  Because the
+  fingerprints are part of the key, registering a UDF, changing the
+  schema, or compiling with a different pass pipeline (``O0``/``O1``/
+  ``O2`` preset or a custom ``--passes`` list) makes stale entries
   unreachable; registration additionally clears the cache eagerly.
 * :class:`PreparedQuery` — one prepare's outcome: the compiled query plus
   whether this prepare was served from cache (warm) or compiled (cold).
@@ -172,9 +174,21 @@ class PlanCache:
     @staticmethod
     def key(sql: str, opt_level: str, backend: str,
             catalog_fingerprint: tuple,
-            udf_fingerprint: tuple) -> tuple:
+            udf_fingerprint: tuple,
+            pipeline_fingerprint: str | None = None) -> tuple:
+        """The cache key for one compilation request.
+
+        ``pipeline_fingerprint`` identifies the pass pipeline the
+        compilation runs (``"O0"``/``"O1"``/``"O2"`` for presets,
+        ``"custom(...)"`` for an explicit pass list); ``None`` derives
+        the preset ``opt_level`` implies, so legacy five-argument
+        callers keep producing the same key as an explicit default
+        compile."""
+        if pipeline_fingerprint is None:
+            pipeline_fingerprint = "O2" if opt_level == "opt" else "O0"
         return (normalize_sql(sql), opt_level, backend,
-                catalog_fingerprint, udf_fingerprint)
+                catalog_fingerprint, udf_fingerprint,
+                pipeline_fingerprint)
 
     def lookup(self, key: tuple) -> "CompiledQuery | None":
         with self._lock:

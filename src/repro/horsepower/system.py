@@ -103,16 +103,26 @@ class HorsePowerSystem:
         return plan_json
 
     def compile_sql(self, sql: str, opt_level: str = "opt",
-                    backend: str = "python") -> CompiledQuery:
-        return self.session.compile_sql(sql, opt_level, backend=backend)
+                    backend: str = "python", *,
+                    pipeline=None, verify_ir: bool = False,
+                    dump_ir: str | None = None) -> CompiledQuery:
+        return self.session.compile_sql(sql, opt_level, backend=backend,
+                                        pipeline=pipeline,
+                                        verify_ir=verify_ir,
+                                        dump_ir=dump_ir)
 
     def prepare(self, sql: str, opt_level: str = "opt",
                 backend: str = "python",
-                use_cache: bool = True) -> PreparedQuery:
+                use_cache: bool = True, *,
+                pipeline=None, verify_ir: bool = False,
+                dump_ir: str | None = None) -> PreparedQuery:
         """Fetch (or compile and cache) the prepared form of ``sql``;
         see :meth:`EngineSession.prepare`."""
         return self.session.prepare(sql, opt_level, backend=backend,
-                                    use_cache=use_cache)
+                                    use_cache=use_cache,
+                                    pipeline=pipeline,
+                                    verify_ir=verify_ir,
+                                    dump_ir=dump_ir)
 
     def run_sql(self, sql: str, n_threads: int = 1,
                 opt_level: str = "opt", backend: str = "python",
@@ -130,7 +140,13 @@ class HorsePowerSystem:
 
     def compile_matlab_function(self, source: str, param_specs=None,
                                 opt_level: str = "opt",
-                                backend: str = "python") -> MatlabProgram:
+                                backend: str = "python", *,
+                                pipeline=None, verify_ir: bool = False,
+                                dump_ir: str | None = None) \
+            -> MatlabProgram:
         return self.session.compile_matlab(source, param_specs,
                                            opt_level=opt_level,
-                                           backend=backend)
+                                           backend=backend,
+                                           pipeline=pipeline,
+                                           verify_ir=verify_ir,
+                                           dump_ir=dump_ir)

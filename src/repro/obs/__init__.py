@@ -31,7 +31,8 @@ from repro.obs.prof import (NULL_PROFILE, AllocationProfile, FusionSavings,
                             fusion_savings, get_profile, set_profile,
                             use_profile)
 from repro.obs.render import (chrome_trace, chrome_trace_json,
-                              phase_coverage, render_explain_analyze)
+                              format_pass_stats, phase_coverage,
+                              render_explain_analyze)
 from repro.obs.tracer import (NULL_TRACER, NullTracer, Span, Tracer,
                               get_tracer, set_tracer, use_tracer)
 from repro.obs.telemetry import (FlightRecorder, MetricsServer, QueryLog,
@@ -45,6 +46,7 @@ __all__ = [
     "NullAllocationProfile", "format_fusion_savings", "fusion_savings",
     "get_profile", "set_profile", "use_profile",
     "chrome_trace", "chrome_trace_json", "phase_coverage",
+    "format_pass_stats",
     "render_explain_analyze",
     "NULL_TRACER", "NullTracer", "Span", "Tracer", "get_tracer",
     "set_tracer", "use_tracer",

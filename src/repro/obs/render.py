@@ -24,7 +24,7 @@ from repro.obs.prof import format_bytes
 from repro.obs.tracer import Span
 
 __all__ = ["render_explain_analyze", "chrome_trace", "chrome_trace_json",
-           "phase_coverage"]
+           "phase_coverage", "format_pass_stats"]
 
 #: Attributes whose values are unstable across runs (golden tests render
 #: with ``timings=False`` and rely on the remaining attributes only).
@@ -103,6 +103,32 @@ def render_explain_analyze(root: Span, *, timings: bool = True) -> str:
             lines.append(f"-- phases cover {covered * 1000:.3f} of "
                          f"{total_s * 1000:.3f} ms "
                          f"({fraction * 100:.1f}%)")
+    return "\n".join(lines)
+
+
+def format_pass_stats(stats) -> str:
+    """The optimizer's per-pass statistics as an aligned text table.
+
+    ``stats`` is an :class:`~repro.core.passes.OptimizeStats`; one row
+    per registered :class:`~repro.core.passes.PassStat` (pipeline
+    order): how many times the pass ran, how many of those runs rewrote
+    something, and the total time it took.  The CLI's ``compile-sql``
+    prints this under the fused kernels."""
+    rows = [(ps.name, ps.level, str(ps.runs), str(ps.rewrites),
+             f"{ps.seconds * 1000:.3f}")
+            for ps in stats.pass_stats]
+    header = ("pass", "level", "runs", "rewrites", "ms")
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+              if rows else len(header[i]) for i in range(5)]
+    def fmt(row):
+        return "  ".join(
+            cell.ljust(widths[i]) if i < 2 else cell.rjust(widths[i])
+            for i, cell in enumerate(row))
+    lines = [fmt(header), fmt(tuple("-" * w for w in widths))]
+    lines.extend(fmt(row) for row in rows)
+    lines.append(f"pipeline={stats.pipeline} rounds={stats.rounds}"
+                 + (" (fixed point not reached)"
+                    if stats.fixed_point_exhausted else ""))
     return "\n".join(lines)
 
 

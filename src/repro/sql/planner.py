@@ -4,14 +4,17 @@ Planning pipeline (the MonetDB stand-in's optimizer):
 
 1. constant folding (``DATE '1998-12-01' - INTERVAL '90' DAY`` → a date);
 2. FROM resolution: scans, derived tables, table-UDF calls, join clauses;
-3. WHERE decomposition into conjuncts; equi-join conditions between two
-   tables become hash-join keys, single-source conjuncts are **pushed
-   down** below joins and through projections (predicate pushdown);
+   comma joins recover their hash-join keys from WHERE equi-join
+   conjuncts right here, at build time;
+3. WHERE decomposition into conjuncts; every conjunct the join keys did
+   not consume lands in **one** ``Filter`` directly above the join tree
+   (the *raw* plan);
 4. aggregation planning: aggregate arguments become computed columns in a
    pre-projection, then one GroupAggregate node;
-5. **column pruning**: every node's column set shrinks to what its parent
-   needs — except across TableUDF nodes, which are black boxes (the bs2
-   experiment relies on exactly this asymmetry).
+5. plan-level rewrite passes (:mod:`repro.sql.plan_passes`) run through
+   the :class:`~repro.core.passes.PassManager`: **predicate pushdown**
+   sinks filters below joins and through projections, then **column
+   pruning** shrinks every node's column set to what its parent needs.
 
 The planner treats scalar UDF calls as ordinary expressions (so they ride
 inside Project/Filter nodes), mirroring how MonetDB plans UDF hooks.
@@ -22,22 +25,34 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import types as ht
+from repro.core.passes import OptimizeStats, PassManager, resolve_pipeline
 from repro.errors import PlanError
 from repro.sql import ast
 from repro.sql import plan as p
 from repro.sql.catalog import Catalog
+from repro.sql.plan_passes import _and_all, _split_conjuncts
 from repro.sql.udf import UDFRegistry
 
 __all__ = ["plan_query"]
 
 
 def plan_query(select: ast.Select, catalog: Catalog,
-               udfs: UDFRegistry | None = None) -> p.PlanNode:
-    """Plan a SELECT statement against ``catalog`` (+ registered UDFs)."""
+               udfs: UDFRegistry | None = None, *,
+               pipeline=None,
+               stats: OptimizeStats | None = None) -> p.PlanNode:
+    """Plan a SELECT statement against ``catalog`` (+ registered UDFs).
+
+    ``pipeline`` selects which plan-level passes run after the raw plan
+    is built (a preset name, a comma list, or a
+    :class:`~repro.core.passes.Pipeline`); the default ``O2`` preset runs
+    predicate pushdown then column pruning, which every preset includes
+    — only a custom ``--passes`` list can drop them.  ``stats`` (when
+    given) accumulates per-pass timing in its ``pass_stats``.
+    """
     planner = _Planner(catalog, udfs or UDFRegistry())
     node = planner.plan_select(select)
-    node = _prune_columns(node, set(node.output_names()))
-    return node
+    manager = PassManager(resolve_pipeline(pipeline))
+    return manager.run_plan(node, udfs=planner.udfs, stats=stats)
 
 
 # ---------------------------------------------------------------------------
@@ -116,54 +131,6 @@ def _fold_numeric(left, right, op: str):
             and op != "/":
         return ast.IntLit(int(result))
     return ast.FloatLit(float(result))
-
-
-def _expr_columns(expr: ast.Expr) -> set[str]:
-    cols: set[str] = set()
-    _collect_columns(expr, cols)
-    return cols
-
-
-def _collect_columns(expr: ast.Expr, out: set[str]) -> None:
-    if isinstance(expr, ast.Col):
-        out.add(expr.name)
-    elif isinstance(expr, ast.BinOp):
-        _collect_columns(expr.left, out)
-        _collect_columns(expr.right, out)
-    elif isinstance(expr, ast.UnOp):
-        _collect_columns(expr.operand, out)
-    elif isinstance(expr, ast.FuncCall):
-        for arg in expr.args:
-            _collect_columns(arg, out)
-    elif isinstance(expr, ast.CaseWhen):
-        for cond, value in expr.whens:
-            _collect_columns(cond, out)
-            _collect_columns(value, out)
-        if expr.else_expr is not None:
-            _collect_columns(expr.else_expr, out)
-    elif isinstance(expr, ast.InList):
-        _collect_columns(expr.expr, out)
-        for item in expr.items:
-            _collect_columns(item, out)
-    elif isinstance(expr, ast.Between):
-        _collect_columns(expr.expr, out)
-        _collect_columns(expr.low, out)
-        _collect_columns(expr.high, out)
-
-
-def _split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
-    if expr is None:
-        return []
-    if isinstance(expr, ast.BinOp) and expr.op == "and":
-        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
-    return [expr]
-
-
-def _and_all(conjuncts: list[ast.Expr]) -> ast.Expr:
-    result = conjuncts[0]
-    for conjunct in conjuncts[1:]:
-        result = ast.BinOp("and", result, conjunct)
-    return result
 
 
 def _contains_aggregate(expr: ast.Expr) -> bool:
@@ -255,10 +222,17 @@ class _Planner:
     # -- FROM ---------------------------------------------------------------
 
     def plan_select(self, select: ast.Select) -> p.PlanNode:
+        """Build the *raw* plan: joins resolved, every leftover WHERE
+        conjunct in one Filter above the join tree.  Predicate pushdown
+        and column pruning are plan-level passes applied by
+        :func:`plan_query`, not here."""
         node = self._plan_from(select)
         conjuncts = [_fold_constants(c)
                      for c in _split_conjuncts(select.where)]
-        node = self._apply_filters(node, conjuncts)
+        node, conjuncts = self._resolve_crosses(node, conjuncts)
+        if conjuncts:
+            node = p.Filter(node, _and_all(conjuncts),
+                            output=list(node.output))
         node = self._plan_projection(select, node)
         node = self._plan_order_limit(select, node)
         return node
@@ -337,117 +311,45 @@ class _Planner:
                 return None
         return (left_keys, right_keys)
 
-    # -- WHERE / pushdown ------------------------------------------------------
+    # -- comma-join resolution --------------------------------------------------
 
-    def _apply_filters(self, node: p.PlanNode,
-                       conjuncts: list[ast.Expr]) -> p.PlanNode:
-        node, leftovers = self._push_filters(node, conjuncts)
-        if leftovers:
-            node = p.Filter(node, _and_all(leftovers),
-                            output=list(node.output))
-        return node
-
-    def _push_filters(self, node: p.PlanNode,
-                      conjuncts: list[ast.Expr]):
-        """Push each conjunct as deep as it can go; returns (node,
-        not-pushed)."""
+    def _resolve_crosses(self, node: p.PlanNode,
+                         conjuncts: list[ast.Expr]):
+        """Turn comma joins into hash joins, consuming the WHERE
+        equalities that become their keys; returns (node, leftover
+        conjuncts)."""
         if isinstance(node, _PendingCross):
-            return self._resolve_cross(node, conjuncts)
+            left, conjuncts = self._resolve_crosses(node.left, conjuncts)
+            right, conjuncts = self._resolve_crosses(node.right,
+                                                     conjuncts)
+            left_cols = set(left.output_names())
+            right_cols = set(right.output_names())
+            key_conjuncts: list[ast.Expr] = []
+            others: list[ast.Expr] = []
+            for conjunct in conjuncts:
+                if isinstance(conjunct, ast.BinOp) \
+                        and conjunct.op == "=" \
+                        and isinstance(conjunct.left, ast.Col) \
+                        and isinstance(conjunct.right, ast.Col):
+                    a, b = conjunct.left.name, conjunct.right.name
+                    if (a in left_cols and b in right_cols) \
+                            or (b in left_cols and a in right_cols):
+                        key_conjuncts.append(conjunct)
+                        continue
+                others.append(conjunct)
+            if not key_conjuncts:
+                raise PlanError(
+                    "cross join without an equi-join condition in WHERE "
+                    "is unsupported")
+            join = self._make_join(left, right, _and_all(key_conjuncts))
+            return join, others
         if isinstance(node, p.Join):
-            remaining: list[ast.Expr] = []
-            left_push: list[ast.Expr] = []
-            right_push: list[ast.Expr] = []
-            left_cols = set(node.left.output_names())
-            right_cols = set(node.right.output_names())
-            for conjunct in conjuncts:
-                used = _expr_columns(conjunct)
-                if self._references_udf(conjunct):
-                    remaining.append(conjunct)
-                elif used <= left_cols:
-                    left_push.append(conjunct)
-                elif used <= right_cols:
-                    right_push.append(conjunct)
-                else:
-                    remaining.append(conjunct)
-            left = self._apply_filters(node.left, left_push)
-            right = self._apply_filters(node.right, right_push)
-            new_join = p.Join(left, right, node.left_keys,
-                              node.right_keys, node.kind,
-                              output=list(node.output))
-            return new_join, remaining
-        if isinstance(node, p.Project) and conjuncts:
-            # Push through when the conjunct only references columns the
-            # projection passes through unchanged.
-            passthrough = {name: expr.name for name, expr in node.items
-                           if isinstance(expr, ast.Col)}
-            pushed: list[ast.Expr] = []
-            remaining = []
-            for conjunct in conjuncts:
-                used = _expr_columns(conjunct)
-                if used <= set(passthrough) \
-                        and not self._references_udf(conjunct):
-                    pushed.append(_rename_columns(conjunct, passthrough))
-                else:
-                    remaining.append(conjunct)
-            if pushed:
-                child = self._apply_filters(node.child, pushed)
-                node = p.Project(child, list(node.items),
-                                 output=list(node.output))
-            return node, remaining
-        return node, list(conjuncts)
-
-    def _resolve_cross(self, cross: "_PendingCross",
-                       conjuncts: list[ast.Expr]):
-        """Turn a comma join into a hash join using WHERE equalities."""
-        left = cross.left
-        right = cross.right
-        if isinstance(left, _PendingCross):
-            left, conjuncts = self._resolve_cross(left, conjuncts)
-        if isinstance(right, _PendingCross):
-            right, conjuncts = self._resolve_cross(right, conjuncts)
-        left_cols = set(left.output_names())
-        right_cols = set(right.output_names())
-        key_conjuncts: list[ast.Expr] = []
-        others: list[ast.Expr] = []
-        for conjunct in conjuncts:
-            if isinstance(conjunct, ast.BinOp) and conjunct.op == "=" \
-                    and isinstance(conjunct.left, ast.Col) \
-                    and isinstance(conjunct.right, ast.Col):
-                a, b = conjunct.left.name, conjunct.right.name
-                if (a in left_cols and b in right_cols) \
-                        or (b in left_cols and a in right_cols):
-                    key_conjuncts.append(conjunct)
-                    continue
-            others.append(conjunct)
-        if not key_conjuncts:
-            raise PlanError(
-                "cross join without an equi-join condition in WHERE "
-                "is unsupported")
-        join = self._make_join(left, right, _and_all(key_conjuncts))
-        return self._push_filters(join, others)
-
-    def _references_udf(self, expr: ast.Expr) -> bool:
-        if isinstance(expr, ast.FuncCall):
-            if self.udfs.is_udf(expr.name):
-                return True
-            return any(self._references_udf(a) for a in expr.args)
-        if isinstance(expr, ast.BinOp):
-            return self._references_udf(expr.left) \
-                or self._references_udf(expr.right)
-        if isinstance(expr, ast.UnOp):
-            return self._references_udf(expr.operand)
-        if isinstance(expr, ast.CaseWhen):
-            for cond, value in expr.whens:
-                if self._references_udf(cond) \
-                        or self._references_udf(value):
-                    return True
-            return expr.else_expr is not None \
-                and self._references_udf(expr.else_expr)
-        if isinstance(expr, ast.InList):
-            return self._references_udf(expr.expr)
-        if isinstance(expr, ast.Between):
-            return self._references_udf(expr.expr)
-        return False
+            node.left, conjuncts = self._resolve_crosses(node.left,
+                                                         conjuncts)
+            node.right, conjuncts = self._resolve_crosses(node.right,
+                                                          conjuncts)
+            return node, conjuncts
+        return node, conjuncts
 
     # -- SELECT list / aggregation ----------------------------------------------
 
@@ -638,112 +540,3 @@ class _PendingCross(p.PlanNode):
 
     def children(self) -> list[p.PlanNode]:
         return [self.left, self.right]
-
-
-def _rename_columns(expr: ast.Expr, mapping: dict[str, str]) -> ast.Expr:
-    if isinstance(expr, ast.Col):
-        return ast.Col(mapping.get(expr.name, expr.name))
-    if isinstance(expr, ast.BinOp):
-        return ast.BinOp(expr.op, _rename_columns(expr.left, mapping),
-                         _rename_columns(expr.right, mapping))
-    if isinstance(expr, ast.UnOp):
-        return ast.UnOp(expr.op, _rename_columns(expr.operand, mapping))
-    if isinstance(expr, ast.FuncCall):
-        return ast.FuncCall(expr.name,
-                            [_rename_columns(a, mapping)
-                             for a in expr.args], expr.distinct)
-    if isinstance(expr, ast.CaseWhen):
-        whens = [(_rename_columns(c, mapping), _rename_columns(v, mapping))
-                 for c, v in expr.whens]
-        else_expr = (_rename_columns(expr.else_expr, mapping)
-                     if expr.else_expr is not None else None)
-        return ast.CaseWhen(whens, else_expr)
-    if isinstance(expr, ast.InList):
-        return ast.InList(_rename_columns(expr.expr, mapping),
-                          list(expr.items), expr.negated)
-    if isinstance(expr, ast.Between):
-        return ast.Between(_rename_columns(expr.expr, mapping),
-                           expr.low, expr.high, expr.negated)
-    return expr
-
-
-# ---------------------------------------------------------------------------
-# column pruning
-# ---------------------------------------------------------------------------
-
-def _prune_columns(node: p.PlanNode, needed: set[str]) -> p.PlanNode:
-    """Shrink every node's outputs to ``needed`` (never crossing
-    TableUDF)."""
-    if isinstance(node, p.Scan):
-        keep = [c for c in node.columns if c in needed]
-        if not keep and node.columns:
-            keep = [node.columns[0]]  # keep row counts observable
-            needed = needed | {keep[0]}
-        return p.Scan(node.table, keep,
-                      output=[(n, t) for n, t in node.output
-                              if n in needed])
-    if isinstance(node, p.Filter):
-        child_needed = needed | _expr_columns(node.predicate)
-        child = _prune_columns(node.child, child_needed)
-        return p.Filter(child, node.predicate,
-                        output=[(n, t) for n, t in node.output
-                                if n in needed])
-    if isinstance(node, p.Project):
-        keep_items = [(name, expr) for name, expr in node.items
-                      if name in needed]
-        if not keep_items and node.items:
-            keep_items = [node.items[0]]  # keep row counts observable
-            needed = needed | {keep_items[0][0]}
-        child_needed: set[str] = set()
-        for _, expr in keep_items:
-            child_needed |= _expr_columns(expr)
-        child = _prune_columns(node.child, child_needed)
-        return p.Project(child, keep_items,
-                         output=[(n, t) for n, t in node.output
-                                 if n in needed])
-    if isinstance(node, p.Join):
-        left_names = set(node.left.output_names())
-        right_names = set(node.right.output_names())
-        left_needed = (needed & left_names) | set(node.left_keys)
-        right_needed = (needed & right_names) | set(node.right_keys)
-        left = _prune_columns(node.left, left_needed)
-        right = _prune_columns(node.right, right_needed)
-        return p.Join(left, right, node.left_keys, node.right_keys,
-                      node.kind,
-                      output=[(n, t) for n, t in node.output
-                              if n in needed])
-    if isinstance(node, p.GroupAggregate):
-        child_needed = set(node.keys)
-        keep_aggs = []
-        for name, fn, col in node.aggregates:
-            if name in needed:
-                keep_aggs.append((name, fn, col))
-                if col is not None:
-                    child_needed.add(col)
-        if not keep_aggs and node.aggregates:
-            # Keep one aggregate so group cardinality is observable.
-            name, fn, col = node.aggregates[0]
-            keep_aggs.append((name, fn, col))
-            if col is not None:
-                child_needed.add(col)
-        child = _prune_columns(node.child, child_needed)
-        return p.GroupAggregate(child, node.keys, keep_aggs,
-                                output=[(n, t) for n, t in node.output
-                                        if n in needed
-                                        or n in node.keys])
-    if isinstance(node, p.Sort):
-        child_needed = needed | {name for name, _ in node.keys}
-        child = _prune_columns(node.child, child_needed)
-        return p.Sort(child, node.keys,
-                      output=[(n, t) for n, t in node.output
-                              if n in child_needed or n in needed])
-    if isinstance(node, p.Limit):
-        child = _prune_columns(node.child, needed)
-        return p.Limit(child, node.count, output=list(child.output))
-    if isinstance(node, p.TableUDF):
-        # Black box: every declared input column must be produced and
-        # every declared output is computed, regardless of `needed`.
-        child = _prune_columns(node.child, set(node.input_columns))
-        return p.TableUDF(child, node.udf_name, node.input_columns,
-                          output=list(node.output))
-    raise PlanError(f"cannot prune {type(node).__name__}")

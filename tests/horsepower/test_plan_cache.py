@@ -205,3 +205,66 @@ class TestNormalizeSql:
             == "SELECT 'a  b' FROM T"
         # Conservative by design: case differences do NOT share a key.
         assert normalize_sql("select 1") != normalize_sql("SELECT 1")
+
+
+class TestPipelineFingerprint:
+    """The cache key carries the pass-pipeline fingerprint: custom
+    pipelines must never collide with the presets (a stale hit would
+    silently execute differently-optimized code)."""
+
+    CAT = (("t", ("x", "y")),)
+    UDF = ()
+
+    def test_legacy_key_equals_explicit_default(self):
+        legacy = PlanCache.key("SELECT 1", "opt", "python",
+                               self.CAT, self.UDF)
+        explicit = PlanCache.key("SELECT 1", "opt", "python",
+                                 self.CAT, self.UDF, "O2")
+        assert legacy == explicit
+        assert PlanCache.key("SELECT 1", "naive", "python",
+                             self.CAT, self.UDF) \
+            == PlanCache.key("SELECT 1", "naive", "python",
+                             self.CAT, self.UDF, "O0")
+
+    def test_distinct_pipelines_are_distinct_keys(self):
+        base = PlanCache.key("SELECT 1", "opt", "python",
+                             self.CAT, self.UDF)
+        o1 = PlanCache.key("SELECT 1", "opt", "python",
+                           self.CAT, self.UDF, "O1")
+        custom = PlanCache.key("SELECT 1", "opt", "python",
+                               self.CAT, self.UDF,
+                               "custom(inline,dce)")
+        assert len({base, o1, custom}) == 3
+
+    def test_pipeline_variants_do_not_share_cache_entries(self, hp):
+        sql = "SELECT SUM(x) AS s FROM t"
+        hp.run_sql(sql)
+        hp.run_sql(sql, pipeline="O1")
+        hp.run_sql(sql, pipeline="inline,dce")
+        assert hp.cache_stats.misses == 3
+        assert len(hp.plan_cache) == 3
+        # Each variant hits its own entry on re-run.
+        hp.run_sql(sql)
+        hp.run_sql(sql, pipeline="O1")
+        hp.run_sql(sql, pipeline="inline,dce")
+        assert hp.cache_stats.hits == 3
+
+    def test_explicit_o2_hits_the_default_entry(self, hp):
+        sql = "SELECT SUM(x) AS s FROM t"
+        hp.run_sql(sql)
+        hp.run_sql(sql, pipeline="O2")
+        assert hp.cache_stats.hits == 1
+        assert len(hp.plan_cache) == 1
+
+    def test_verify_ir_bypasses_the_cache(self, hp):
+        sql = "SELECT SUM(x) AS s FROM t"
+        hp.run_sql(sql, verify_ir=True)
+        hp.run_sql(sql, verify_ir=True)
+        assert hp.cache_stats.lookups == 0
+        assert len(hp.plan_cache) == 0
+
+    def test_dump_ir_bypasses_the_cache(self, hp, tmp_path):
+        sql = "SELECT SUM(x) AS s FROM t"
+        hp.run_sql(sql, dump_ir=str(tmp_path / "ir"))
+        assert hp.cache_stats.lookups == 0
+        assert len(hp.plan_cache) == 0

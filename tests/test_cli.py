@@ -180,3 +180,71 @@ def test_run_sql_telemetry_conflicts_with_monetdb_system(csv_table):
         main(["run-sql", "--system", "monetdb", "--query-log",
               "--table", f"t={csv_table}@x:f64,label:str",
               "SELECT SUM(x) AS s FROM t"])
+
+
+def test_run_sql_with_custom_passes(csv_table, capsys):
+    code = main(["run-sql",
+                 "--table", f"t={csv_table}@x:f64,label:str",
+                 "SELECT SUM(x) AS s FROM t",
+                 "--passes", "inline,dce"])
+    assert code == 0
+    assert "6.0" in capsys.readouterr().out
+
+
+def test_run_sql_verify_ir(csv_table, capsys):
+    code = main(["run-sql",
+                 "--table", f"t={csv_table}@x:f64,label:str",
+                 "SELECT SUM(x * x) AS s FROM t WHERE x > 1",
+                 "--verify-ir"])
+    assert code == 0
+    assert "13.0" in capsys.readouterr().out
+
+
+def test_run_sql_unknown_pass_is_rejected(csv_table):
+    with pytest.raises(SystemExit, match="unknown pass"):
+        main(["run-sql",
+              "--table", f"t={csv_table}@x:f64,label:str",
+              "SELECT SUM(x) AS s FROM t",
+              "--passes", "turbofuse"])
+
+
+def test_run_sql_passes_conflict_with_monetdb_system(csv_table):
+    with pytest.raises(SystemExit, match="pipeline"):
+        main(["run-sql", "--system", "monetdb", "--verify-ir",
+              "--table", f"t={csv_table}@x:f64,label:str",
+              "SELECT SUM(x) AS s FROM t"])
+
+
+def test_run_sql_dump_ir_writes_snapshots(csv_table, tmp_path, capsys):
+    dump = tmp_path / "ir"
+    code = main(["run-sql",
+                 "--table", f"t={csv_table}@x:f64,label:str",
+                 "SELECT SUM(x) AS s FROM t",
+                 "--dump-ir", str(dump)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "per-pass IR snapshots" in out
+    names = sorted(p.name for p in dump.iterdir())
+    assert names[0] == "000-input.hir"
+    assert all(name.endswith(".hir") for name in names)
+
+
+def test_compile_sql_prints_pass_statistics(csv_table, capsys):
+    code = main(["compile-sql",
+                 "--table", f"t={csv_table}@x:f64,label:str",
+                 "SELECT SUM(x * x) AS s FROM t WHERE x > 1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "pass statistics" in out
+    assert "pipeline=O2" in out
+
+
+def test_compile_sql_o0_preset_skips_ir_passes(csv_table, capsys):
+    code = main(["compile-sql",
+                 "--table", f"t={csv_table}@x:f64,label:str",
+                 "SELECT SUM(x) AS s FROM t",
+                 "--passes", "O0"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "@load_table" in out
+    assert "pass statistics" not in out

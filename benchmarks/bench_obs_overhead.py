@@ -44,6 +44,13 @@ makes, the per-site cost is the measured disabled call, and the
 overhead (against the same warm-Q6 denominator as the others, although
 warm runs compile nothing at all) must stay **<2%**.
 
+Table statistics (PR 9) follow the telemetry pattern: with no
+``ANALYZE`` run, the :class:`~repro.stats.StatsStore` is empty and a
+warm query pays exactly two sites — the ``stats.fingerprint()`` call in
+the plan-cache key and the ``if self.stats.enabled:`` branch after
+execution (``plan_sql`` pays a third on the cold path only).  Both are
+measured on an empty store and bounded by the same **<2%** bar.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py
@@ -129,6 +136,32 @@ def measure_disabled_telemetry_cost(loops: int = _NULL_SPAN_LOOPS) -> float:
 # ``run_sql`` consults ``telemetry.enabled`` exactly once per query;
 # there are no other disabled-telemetry sites in the pipeline.
 TELEMETRY_SITES_PER_QUERY = 1
+
+
+def measure_disabled_stats_cost(loops: int = _NULL_SPAN_LOOPS) -> float:
+    """Seconds per disabled statistics site on an empty
+    :class:`~repro.stats.StatsStore`: one ``fingerprint()`` call (the
+    plan-cache key component) averaged with one ``if stats.enabled:``
+    branch (the est-vs-actual hook), the two sites a warm query pays."""
+    from repro.stats import StatsStore
+
+    stats = StatsStore()
+    assert not stats.enabled and stats.fingerprint() is None
+    sink = 0
+    start = time.perf_counter()
+    for _ in range(loops):
+        stats.fingerprint()
+        if stats.enabled:
+            sink += 1  # pragma: no cover - store is empty
+    elapsed = time.perf_counter() - start
+    assert sink == 0
+    return elapsed / (2 * loops)
+
+
+# A warm query pays ``stats.fingerprint()`` in ``prepare`` plus the
+# ``if self.stats.enabled:`` branch after execution; ``plan_sql`` adds
+# a third read on the cold path only.
+STATS_SITES_PER_QUERY = 2
 
 
 def measure_disabled_verify_cost(loops: int = _NULL_SPAN_LOOPS) -> float:
@@ -223,6 +256,8 @@ def main() -> int:
 
     tel_site_cost = measure_disabled_telemetry_cost()
 
+    stats_site_cost = measure_disabled_stats_cost()
+
     verify_site_cost = measure_disabled_verify_cost()
     verify_sites = count_verify_sites_per_compile(hp, sql)
 
@@ -231,6 +266,8 @@ def main() -> int:
     gov_overhead = checkpoints * gov_site_cost / disabled.seconds
     tel_overhead = (TELEMETRY_SITES_PER_QUERY * tel_site_cost
                     / disabled.seconds)
+    stats_overhead = (STATS_SITES_PER_QUERY * stats_site_cost
+                      / disabled.seconds)
     verify_overhead = (verify_sites * verify_site_cost
                        / disabled.seconds)
     print("# Disabled-tracer overhead on TPC-H Q6 (warm, cached plan)")
@@ -263,6 +300,15 @@ def main() -> int:
     print(f"disabled overhead             : {tel_overhead:9.4%} "
           f"(bar: <{OVERHEAD_BAR:.0%})")
     print()
+    print("# Disabled-statistics overhead on TPC-H Q6 (warm, cached "
+          "plan)")
+    print(f"stats sites per query         : "
+          f"{STATS_SITES_PER_QUERY:9d}")
+    print(f"cost per disabled check       : "
+          f"{stats_site_cost * 1e9:9.1f} ns")
+    print(f"disabled overhead             : {stats_overhead:9.4%} "
+          f"(bar: <{OVERHEAD_BAR:.0%})")
+    print()
     print("# Disabled-verifier overhead on TPC-H Q6 (cold compile)")
     print(f"verify sites per cold compile : {verify_sites:9d}")
     print(f"cost per disabled check       : "
@@ -281,6 +327,9 @@ def main() -> int:
         failed = True
     if tel_overhead >= OVERHEAD_BAR:
         print("FAIL: disabled telemetry is not near-free")
+        failed = True
+    if stats_overhead >= OVERHEAD_BAR:
+        print("FAIL: disabled statistics are not near-free")
         failed = True
     if verify_overhead >= OVERHEAD_BAR:
         print("FAIL: disabled IR verification is not near-free")

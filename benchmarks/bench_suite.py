@@ -11,7 +11,11 @@ config:
 * ``warm_seconds`` — median cache-served repeat, profiling off;
 * ``bytes_allocated`` / ``peak_bytes`` / ``intermediates_materialized``
   — one profiled warm run (bytes are deterministic at a fixed scale,
-  which is what makes them a *blocking* regression signal).
+  which is what makes them a *blocking* regression signal);
+* ``est_rows`` / ``actual_rows`` / ``q_error`` — the root cardinality
+  estimate after ``ANALYZE`` vs the rows the query actually returned,
+  from one final untimed run (the timed runs above stay stats-free so
+  the wall numbers are comparable across PRs).
 
 The result is written to ``BENCH_PR<N>.json`` at the repo root — one
 file per PR, committed, so ``git log`` doubles as a perf timeline — and
@@ -52,13 +56,14 @@ from repro.engine.storage import Database
 from repro.obs import (AllocationProfile, format_fusion_savings,
                        fusion_savings)
 from repro.obs.prof import format_bytes
+from repro.stats import q_error
 from repro.workloads.bs_queries import SCALAR_QUERIES, register_bs_udfs
 from repro.workloads.tpch_queries import (PLAIN_QUERIES, UDF_QUERIES,
                                           register_tpch_udfs)
 
 SCHEMA_VERSION = 1
-DEFAULT_OUT = "BENCH_PR6.json"
-LABEL = "PR6"
+DEFAULT_OUT = "BENCH_PR9.json"
+LABEL = "PR9"
 BYTES_REGRESSION_BAR = 0.10   # blocking
 TIME_REGRESSION_BAR = 0.15    # warn (blocking with --strict-time)
 WARM_ROUNDS = 3
@@ -122,6 +127,17 @@ def bench_entry(db: Database, sql: str, register, backend: str,
         session.run_sql(sql, opt_level=opt_level, backend=backend,
                         ctx=ctx)
 
+        # Est-vs-actual from one final, untimed run: ANALYZE (which
+        # invalidates the cached plan), re-prepare so the plan carries
+        # ``est_rows``, then read the root estimate against the rows
+        # the query actually returns.
+        session.analyze()
+        prepared = session.prepare(sql, opt_level=opt_level,
+                                   backend=backend)
+        est_rows = prepared.query.plan_json.get("est_rows")
+        actual_rows = session.run_sql(sql, opt_level=opt_level,
+                                      backend=backend).num_rows
+
     return {
         "backend": backend,
         "opt_level": opt_level,
@@ -131,6 +147,10 @@ def bench_entry(db: Database, sql: str, register, backend: str,
         "peak_bytes": profile.peak_bytes,
         "intermediates_materialized":
             profile.intermediates_materialized,
+        "est_rows": est_rows,
+        "actual_rows": actual_rows,
+        "q_error": None if est_rows is None
+        else round(q_error(est_rows, actual_rows), 4),
     }
 
 
@@ -150,7 +170,9 @@ def run_suite() -> dict:
                   f" alloc={format_bytes(entry['bytes_allocated']):>10}"
                   f" peak={format_bytes(entry['peak_bytes']):>10}"
                   f" intermediates="
-                  f"{entry['intermediates_materialized']}")
+                  f"{entry['intermediates_materialized']}"
+                  f" est={entry['est_rows']}"
+                  f" actual={entry['actual_rows']}")
 
     # The paper-style fusion report for the headline workload.
     savings = {}

@@ -11,7 +11,11 @@ Commands:
   run it on CSV columns);
 * ``list-backends``  — print the registered execution backends, their
   capabilities and fallback chains;
-* ``gen-tpch``       — write TPC-H tables as ``|``-separated files.
+* ``gen-tpch``       — write TPC-H tables as ``|``-separated files;
+* ``analyze``        — collect table/column statistics (row counts,
+  min/max, distinct counts, equi-depth histograms) and print them;
+  ``run-sql --analyze`` collects the same statistics before running, and
+  ``run-sql --explain`` prints the estimated plan without executing.
 """
 
 from __future__ import annotations
@@ -152,6 +156,9 @@ def _cmd_run_sql(args) -> int:
     sql = args.query if args.query else sys.stdin.read()
     repeat = max(1, args.repeat)
 
+    if args.explain:
+        return _explain_plan(args, db, sql)
+
     tracing = bool(args.trace or args.explain_analyze)
     tracer = None
     if tracing:
@@ -168,10 +175,14 @@ def _cmd_run_sql(args) -> int:
     try:
         if args.system == "monetdb":
             mdb = MonetDBLike(db)
+            if args.analyze:
+                mdb.analyze()
             for _ in range(repeat):
                 result = mdb.run_sql(sql, n_threads=args.threads)
         else:
             hp = HorsePowerSystem(db)
+            if args.analyze:
+                hp.analyze()
             if args.max_concurrent is not None:
                 hp.governor.configure(max_concurrent=args.max_concurrent)
             if telemetry_requested:
@@ -247,6 +258,48 @@ def _cmd_run_sql(args) -> int:
         except KeyboardInterrupt:
             pass
         hp.telemetry.server.close()
+    return 0
+
+
+def _explain_plan(args, db, sql) -> int:
+    """Classic EXPLAIN: print the (estimated) plan, don't execute."""
+    from repro.horsepower import HorsePowerSystem, MonetDBLike
+    from repro.obs import render_plan
+    from repro.sql.parser import parse_sql
+    from repro.sql.planner import plan_query
+
+    system = (MonetDBLike(db) if args.system == "monetdb"
+              else HorsePowerSystem(db))
+    if args.analyze:
+        system.analyze()
+    stats = system.stats
+    plan = plan_query(parse_sql(sql), db.catalog(), system.udfs,
+                      pipeline=args.passes,
+                      table_stats=stats if stats.enabled else None)
+    print("-- EXPLAIN " + "-" * 52)
+    print(render_plan(plan))
+    if not stats.enabled:
+        print("-- no statistics collected; add --analyze for est_rows")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    """Collect and print table/column statistics."""
+    from repro.engine.session import EngineSession
+
+    db = _load_tables(args)
+    session = EngineSession.ambient(db)
+    collected = session.analyze(args.table_name)
+    for table_stats in collected:
+        print(f"table {table_stats.name}: {table_stats.row_count} rows, "
+              f"{len(table_stats.columns)} columns")
+        for col in table_stats.columns.values():
+            info = col.to_dict()
+            print(f"    {info['name']:<16} {info['type']:<6} "
+                  f"ndv={info['n_distinct']:<8} "
+                  f"nulls={col.null_count:<6} "
+                  f"buckets={info['histogram_buckets']:<4} "
+                  f"min={info['min']} max={info['max']}")
     return 0
 
 
@@ -461,6 +514,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "the allocation profile JSON (default "
                               "profile.json); with --explain-analyze, "
                               "spans gain alloc=/peak= byte columns")
+    run_sql.add_argument("--analyze", action="store_true",
+                         help="collect table statistics (ANALYZE) "
+                              "before planning, enabling est_rows "
+                              "annotations and the stats-driven "
+                              "selectivity-reorder pass")
+    run_sql.add_argument("--explain", action="store_true",
+                         help="print the estimated logical plan "
+                              "(est_rows per operator with --analyze) "
+                              "and exit without executing")
     run_sql.add_argument("--explain-analyze", action="store_true",
                          help="print the traced span tree (per-phase "
                               "and per-kernel times, row counts) after "
@@ -529,6 +591,14 @@ def build_parser() -> argparse.ArgumentParser:
     gen_tpch.add_argument("--scale-factor", type=float, default=0.01)
     gen_tpch.add_argument("--out", default="tpch-data")
     gen_tpch.set_defaults(fn=_cmd_gen_tpch)
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="collect and print table/column statistics")
+    add_table_args(analyze)
+    analyze.add_argument("table_name", nargs="?",
+                         help="analyze only this table (default: all)")
+    analyze.set_defaults(fn=_cmd_analyze)
     return parser
 
 

@@ -189,8 +189,12 @@ class CompiledProgram:
             return state.call(entry, list(args or []))
         with tracer.span("execute", method=entry,
                          n_threads=n_threads,
-                         opt_level=self.report.opt_level):
-            return state.call(entry, list(args or []))
+                         opt_level=self.report.opt_level) as span:
+            result = state.call(entry, list(args or []))
+            rows = getattr(result, "num_rows", None)
+            if rows is not None:
+                span.set(rows_out=rows)
+            return result
 
     @property
     def kernel_sources(self) -> list[str]:

@@ -53,7 +53,8 @@ from repro.errors import HorseVerifyError, OptimizerError, \
 from repro.obs import get_tracer
 
 __all__ = [
-    "Pass", "MethodPass", "ModulePass", "PlanPass", "Pipeline",
+    "Pass", "MethodPass", "ModulePass", "PlanPass", "StatsPlanPass",
+    "Pipeline",
     "PassManager", "PassStat", "OptimizeStats", "resolve_pipeline",
     "preset", "custom_pipeline", "registered_pass_names",
     "PRESET_NAMES", "MAX_ROUNDS", "DEFAULT_DUMP_DIR",
@@ -206,6 +207,23 @@ class PlanPass(Pass):
         return self.fn(plan, udfs)
 
 
+class StatsPlanPass(PlanPass):
+    """A statistics-driven plan rewrite: ``fn(plan, udfs, stats) ->
+    plan``.
+
+    The extra argument is the session's
+    :class:`~repro.stats.StatsStore` (or ``None``); the pass contract
+    requires returning the plan *unchanged* when no statistics exist,
+    so presets that include a stats pass behave identically to the
+    stats-free pipeline until the first ``ANALYZE``."""
+
+    def run(self, plan, ctx=None):
+        udfs = getattr(ctx, "udfs", None) if ctx is not None else None
+        table_stats = getattr(ctx, "table_stats", None) \
+            if ctx is not None else None
+        return self.fn(plan, udfs, table_stats)
+
+
 # ---------------------------------------------------------------------------
 # the registry
 # ---------------------------------------------------------------------------
@@ -240,18 +258,26 @@ def _make_ir_pass(name: str, *, fixed_point: bool) -> Pass:
 def _make_plan_pass(name: str) -> Pass:
     # Lazy for the same reason in the other direction: repro.sql
     # depends on repro.core, never vice versa at import time.
-    from repro.sql.plan_passes import prune_columns, push_predicates
+    from repro.sql.plan_passes import (prune_columns, push_predicates,
+                                       reorder_by_selectivity)
 
     fns = {
         "predicate-pushdown": (push_predicates, ("cardinality",)),
         "column-pruning": (prune_columns, ("schema",)),
     }
+    if name == "selectivity-reorder":
+        return StatsPlanPass(name, reorder_by_selectivity,
+                             invalidates=("cardinality",))
     fn, invalidates = fns[name]
     return PlanPass(name, fn, invalidates=invalidates)
 
 
 #: Plan-level pass names, in the order every pipeline applies them.
-_PLAN_PASS_NAMES = ("predicate-pushdown", "column-pruning")
+#: ``selectivity-reorder`` is the odd one out: presets include it only
+#: at O1/O2 (it is pointless without the optimizer) and it no-ops
+#: until statistics exist.
+_PLAN_PASS_NAMES = ("predicate-pushdown", "column-pruning",
+                    "selectivity-reorder")
 
 #: The fixed-point scalar group, in the paper's order.
 _ROUND_PASS_NAMES = ("list-forwarding", "constprop", "copyprop", "cse",
@@ -326,7 +352,8 @@ def preset(name: str) -> Pipeline:
         raise OptimizerError(
             f"unknown pipeline preset {name!r}; "
             f"known: {', '.join(PRESET_NAMES)}")
-    passes = [_make_plan_pass(n) for n in _PLAN_PASS_NAMES]
+    passes = [_make_plan_pass(n) for n in _PLAN_PASS_NAMES
+              if name in ("O1", "O2") or n != "selectivity-reorder"]
     if name in ("O1", "O2"):
         passes.append(_make_ir_pass("inline", fixed_point=False))
         passes.extend(_make_ir_pass(n, fixed_point=True)
@@ -373,11 +400,12 @@ class _PassContext:
     """What a pass application sees (the manager's slice of the query
     context, kept tiny so passes stay functions)."""
 
-    __slots__ = ("entry", "udfs")
+    __slots__ = ("entry", "udfs", "table_stats")
 
-    def __init__(self, entry=None, udfs=None):
+    def __init__(self, entry=None, udfs=None, table_stats=None):
         self.entry = entry
         self.udfs = udfs
+        self.table_stats = table_stats
 
 
 class PassManager:
@@ -404,10 +432,14 @@ class PassManager:
 
     # -- plan side -----------------------------------------------------------
 
-    def run_plan(self, plan, *, udfs=None, stats: OptimizeStats | None
-                 = None):
-        """Apply the pipeline's plan-level passes to ``plan``."""
-        pctx = _PassContext(udfs=udfs)
+    def run_plan(self, plan, *, udfs=None, table_stats=None,
+                 stats: OptimizeStats | None = None):
+        """Apply the pipeline's plan-level passes to ``plan``.
+
+        ``table_stats`` is the session's
+        :class:`~repro.stats.StatsStore` (or ``None``); only
+        statistics-driven passes read it."""
+        pctx = _PassContext(udfs=udfs, table_stats=table_stats)
         for ps in self.pipeline.plan_passes:
             start = time.perf_counter()
             plan = ps.run(plan, pctx)

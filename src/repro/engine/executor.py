@@ -26,6 +26,8 @@ from repro.engine.storage import Database
 from repro.engine.table import ColumnTable
 from repro.engine.udf_bridge import UDFBridge
 from repro.errors import ExecutorError
+from repro.obs.metrics import QERROR_BUCKETS
+from repro.stats import MISESTIMATE_THRESHOLD, q_error
 from repro.sql import ast
 from repro.sql import plan as p
 from repro.sql.udf import UDFRegistry
@@ -60,8 +62,10 @@ class PlanExecutor:
         """Run the plan; returns the result as a column table."""
         self._qctx = ensure_context(
             ctx if ctx is not None else self._default_qctx)
-        with self._qctx.tracer.span("execute", n_threads=n_threads):
+        with self._qctx.tracer.span("execute",
+                                    n_threads=n_threads) as span:
             columns = self._exec(node, n_threads)
+            span.set(rows_out=_num_rows(columns))
         self._qctx.metrics.counter("exec.rows_produced").inc(
             _num_rows(columns))
         result = ColumnTable("result")
@@ -74,14 +78,37 @@ class PlanExecutor:
     def _exec(self, node: p.PlanNode,
               n_threads: int) -> dict[str, np.ndarray]:
         """Dispatch one operator, wrapped in an ``op:<Type>`` span (rows
-        out recorded) when tracing is on."""
+        out recorded) when tracing is on.
+
+        Nodes the estimator annotated (``est_rows``) additionally get
+        est-vs-actual accounting: the estimate lands on the span (the
+        renderer folds it into ``rows est=… actual=…``) and the
+        operator's q-error feeds ``stats.q_error`` /
+        ``stats.misestimates`` — with or without tracing, so metrics
+        see misestimates even on untraced production runs."""
         tracer = self._qctx.tracer
+        est = node.est_rows
         if not tracer.enabled:
-            return self._exec_node(node, n_threads)
+            columns = self._exec_node(node, n_threads)
+            if est is not None:
+                self._note_operator_estimate(est, _num_rows(columns))
+            return columns
         with tracer.span("op:" + type(node).__name__) as span:
             columns = self._exec_node(node, n_threads)
-            span.set(rows_out=_num_rows(columns))
+            rows = _num_rows(columns)
+            span.set(rows_out=rows)
+            if est is not None:
+                span.set(est_rows=est)
+                self._note_operator_estimate(est, rows)
             return columns
+
+    def _note_operator_estimate(self, est: int, actual: int) -> None:
+        q = q_error(est, actual)
+        metrics = self._qctx.metrics
+        metrics.histogram("stats.q_error",
+                          bounds=QERROR_BUCKETS).observe(q)
+        if q > MISESTIMATE_THRESHOLD:
+            metrics.counter("stats.misestimates").inc()
 
     def _exec_node(self, node: p.PlanNode,
                    n_threads: int) -> dict[str, np.ndarray]:

@@ -43,10 +43,11 @@ from repro.engine.executor import PlanExecutor
 from repro.engine.storage import Database
 from repro.matlang.frontend import MatlabProgram, matlab_to_module
 from repro.obs import (
-    BYTE_BUCKETS, NULL_PROFILE, NULL_TRACER, AllocationProfile,
-    MetricsRegistry, SessionTelemetry, Tracer, get_profile, get_tracer,
-    global_metrics,
+    BYTE_BUCKETS, NULL_PROFILE, NULL_TRACER, QERROR_BUCKETS,
+    AllocationProfile, MetricsRegistry, SessionTelemetry, Tracer,
+    get_profile, get_tracer, global_metrics,
 )
+from repro.stats import MISESTIMATE_THRESHOLD, StatsStore, q_error
 from repro.sql.parser import parse_sql
 from repro.sql.plan import plan_to_json
 from repro.sql.planner import plan_query
@@ -194,6 +195,9 @@ class EngineSession:
             self.telemetry.configure(query_log=query_log)
         self.plan_cache = PlanCache(plan_cache_size,
                                     metrics=self.metrics)
+        #: Table/column statistics (:mod:`repro.stats`).  Empty — and
+        #: one attribute read per query — until :meth:`analyze` runs.
+        self.stats = StatsStore()
         self._baseline_executor: PlanExecutor | None = None
         self._closed = False
         self._metric_queries = self.metrics.counter("query.count")
@@ -326,6 +330,23 @@ class EngineSession:
         self.plan_cache.invalidate()
         return udf
 
+    # -- statistics -----------------------------------------------------------
+
+    def analyze(self, table: str | None = None):
+        """Collect table/column statistics (``ANALYZE``).
+
+        Analyzes ``table`` — or every table in the database — into the
+        session's :class:`~repro.stats.StatsStore`: row counts,
+        min/max, null fractions, distinct counts, and equi-depth
+        histograms (see ``docs/statistics.md``).  The store's
+        fingerprint changes, so previously cached plans (estimated or
+        reordered under older statistics) can no longer be served; the
+        plan cache is invalidated eagerly to reclaim them.  Returns the
+        list of :class:`~repro.stats.TableStats` collected."""
+        collected = self.db.analyze_into(self.stats, table)
+        self.plan_cache.invalidate()
+        return collected
+
     # -- SQL ------------------------------------------------------------------
 
     def plan_sql(self, sql: str, ctx: QueryContext | None = None, *,
@@ -342,7 +363,9 @@ class EngineSession:
             select = parse_sql(sql)
         with ctx.tracer.span("plan"):
             plan = plan_query(select, self.db.catalog(), self.udfs,
-                              pipeline=pipeline)
+                              pipeline=pipeline,
+                              table_stats=self.stats
+                              if self.stats.enabled else None)
             plan_json = plan_to_json(plan)
         return plan, plan_json
 
@@ -404,7 +427,8 @@ class EngineSession:
             key = self.plan_cache.key(sql, opt_level, engine.name,
                                       self.db.schema_fingerprint(),
                                       self.udfs.fingerprint(),
-                                      fingerprint)
+                                      fingerprint,
+                                      self.stats.fingerprint())
             if use_cache:
                 cached = self.plan_cache.lookup(key)
                 if cached is not None:
@@ -557,8 +581,12 @@ class EngineSession:
                                         pipeline=pipeline,
                                         verify_ir=verify_ir,
                                         dump_ir=dump_ir)
-                return prepared.query.run(n_threads=n_threads, ctx=ctx,
-                                          **kwargs)
+                result = prepared.query.run(n_threads=n_threads,
+                                            ctx=ctx, **kwargs)
+                if self.stats.enabled:
+                    self._note_estimate(prepared.query.plan_json,
+                                        result, span)
+                return result
             except _RETRYABLE_ERRORS as exc:
                 fallback = self.backends.get(name).fallback
                 if fallback is None or not self.governor.retry_fallback:
@@ -572,6 +600,25 @@ class EngineSession:
                 # The span's backend now names the engine that actually
                 # ran the query — telemetry records it as provenance.
                 span.set(backend=name)
+
+    def _note_estimate(self, plan_json: dict, result: TableValue,
+                       span) -> None:
+        """Record est-vs-actual for a finished query: ``est_rows`` /
+        ``rows_out`` / ``q_error`` on the query span (rendered as
+        ``rows est=… actual=…`` by EXPLAIN ANALYZE and copied into the
+        telemetry record), the ``stats.q_error`` histogram, and the
+        ``stats.misestimates`` counter past
+        :data:`~repro.stats.MISESTIMATE_THRESHOLD`."""
+        est = plan_json.get("est_rows")
+        if est is None:
+            return
+        actual = result.num_rows
+        q = q_error(est, actual)
+        span.set(est_rows=est, rows_out=actual, q_error=round(q, 3))
+        self.metrics.histogram("stats.q_error",
+                               bounds=QERROR_BUCKETS).observe(q)
+        if q > MISESTIMATE_THRESHOLD:
+            self.metrics.counter("stats.misestimates").inc()
 
     @property
     def cache_stats(self) -> CacheStats:

@@ -71,6 +71,16 @@ class Database:
         return {name: table.to_table_value()
                 for name, table in self._tables.items()}
 
+    def analyze_into(self, store, name: str | None = None) -> list:
+        """Collect statistics for one table (or all of them) into a
+        :class:`~repro.stats.StatsStore`; the storage half of
+        ``ANALYZE`` (:meth:`EngineSession.analyze` adds the plan-cache
+        invalidation on top).  Returns the collected
+        :class:`~repro.stats.TableStats`, in table order."""
+        names = [name] if name is not None else self.table_names()
+        return [store.analyze(table, self.table(table))
+                for table in names]
+
     # -- CSV I/O ---------------------------------------------------------------
 
     def load_csv(self, name: str, path: str,

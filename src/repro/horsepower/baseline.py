@@ -53,12 +53,27 @@ class MonetDBLike:
         """The UDF conversion boundary (exposes conversion counters)."""
         return self.executor.bridge
 
+    @property
+    def stats(self):
+        """The session's :class:`~repro.stats.StatsStore`."""
+        return self.session.stats
+
+    def analyze(self, table: str | None = None):
+        """Collect table/column statistics (``ANALYZE``); see
+        :meth:`EngineSession.analyze`.  Planned operators get
+        ``est_rows`` annotations the executor reports est-vs-actual
+        against."""
+        return self.session.analyze(table)
+
     def plan_sql(self, sql: str):
         tracer = self.session.tracer
+        stats = self.session.stats
         with tracer.span("parse"):
             select = parse_sql(sql)
         with tracer.span("plan"):
-            return plan_query(select, self.db.catalog(), self.udfs)
+            return plan_query(select, self.db.catalog(), self.udfs,
+                              table_stats=stats
+                              if stats.enabled else None)
 
     def run_sql(self, sql: str, n_threads: int = 1) -> ColumnTable:
         """Plan and execute, traced the same way as

@@ -175,7 +175,8 @@ class PlanCache:
     def key(sql: str, opt_level: str, backend: str,
             catalog_fingerprint: tuple,
             udf_fingerprint: tuple,
-            pipeline_fingerprint: str | None = None) -> tuple:
+            pipeline_fingerprint: str | None = None,
+            stats_fingerprint: int | None = None) -> tuple:
         """The cache key for one compilation request.
 
         ``pipeline_fingerprint`` identifies the pass pipeline the
@@ -183,12 +184,18 @@ class PlanCache:
         ``"custom(...)"`` for an explicit pass list); ``None`` derives
         the preset ``opt_level`` implies, so legacy five-argument
         callers keep producing the same key as an explicit default
-        compile."""
+        compile.
+
+        ``stats_fingerprint`` is the session's statistics generation
+        (:meth:`repro.stats.StatsStore.fingerprint`): ``None`` while no
+        statistics exist — the legacy key — and a fresh integer after
+        every ``ANALYZE``, so plans estimated (or reordered) under old
+        statistics never serve a post-ANALYZE session."""
         if pipeline_fingerprint is None:
             pipeline_fingerprint = "O2" if opt_level == "opt" else "O0"
         return (normalize_sql(sql), opt_level, backend,
                 catalog_fingerprint, udf_fingerprint,
-                pipeline_fingerprint)
+                pipeline_fingerprint, stats_fingerprint)
 
     def lookup(self, key: tuple) -> "CompiledQuery | None":
         with self._lock:

@@ -77,6 +77,19 @@ class HorsePowerSystem:
         :meth:`EngineSession.dump_diagnostics`."""
         return self.session.dump_diagnostics(directory)
 
+    # -- statistics -------------------------------------------------------------
+
+    @property
+    def stats(self):
+        """The session's :class:`~repro.stats.StatsStore` — empty (and
+        free) until :meth:`analyze` runs."""
+        return self.session.stats
+
+    def analyze(self, table: str | None = None):
+        """Collect table/column statistics (``ANALYZE``); see
+        :meth:`EngineSession.analyze`."""
+        return self.session.analyze(table)
+
     # -- UDF registration -------------------------------------------------------
 
     def register_scalar_udf(self, name: str, matlab_source: str,

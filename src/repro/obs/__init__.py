@@ -24,15 +24,16 @@ metric names):
   attribute read per query.
 """
 
-from repro.obs.metrics import (BYTE_BUCKETS, Counter, Gauge, Histogram,
-                               MetricsRegistry, global_metrics)
+from repro.obs.metrics import (BYTE_BUCKETS, QERROR_BUCKETS, Counter,
+                               Gauge, Histogram, MetricsRegistry,
+                               global_metrics)
 from repro.obs.prof import (NULL_PROFILE, AllocationProfile, FusionSavings,
                             NullAllocationProfile, format_fusion_savings,
                             fusion_savings, get_profile, set_profile,
                             use_profile)
 from repro.obs.render import (chrome_trace, chrome_trace_json,
                               format_pass_stats, phase_coverage,
-                              render_explain_analyze)
+                              render_explain_analyze, render_plan)
 from repro.obs.tracer import (NULL_TRACER, NullTracer, Span, Tracer,
                               get_tracer, set_tracer, use_tracer)
 from repro.obs.telemetry import (FlightRecorder, MetricsServer, QueryLog,
@@ -40,14 +41,14 @@ from repro.obs.telemetry import (FlightRecorder, MetricsServer, QueryLog,
 
 __all__ = [
     "FlightRecorder", "MetricsServer", "QueryLog", "SessionTelemetry",
-    "BYTE_BUCKETS", "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "global_metrics",
+    "BYTE_BUCKETS", "QERROR_BUCKETS", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "global_metrics",
     "NULL_PROFILE", "AllocationProfile", "FusionSavings",
     "NullAllocationProfile", "format_fusion_savings", "fusion_savings",
     "get_profile", "set_profile", "use_profile",
     "chrome_trace", "chrome_trace_json", "phase_coverage",
     "format_pass_stats",
-    "render_explain_analyze",
+    "render_explain_analyze", "render_plan",
     "NULL_TRACER", "NullTracer", "Span", "Tracer", "get_tracer",
     "set_tracer", "use_tracer",
 ]

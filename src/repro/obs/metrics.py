@@ -34,7 +34,8 @@ import re
 import threading
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "global_metrics", "DEFAULT_BUCKETS", "BYTE_BUCKETS"]
+           "global_metrics", "DEFAULT_BUCKETS", "BYTE_BUCKETS",
+           "QERROR_BUCKETS"]
 
 #: Characters the Prometheus exposition format forbids in metric names;
 #: everything outside ``[a-zA-Z0-9_:]`` becomes ``_`` (``a.b`` → ``a_b``).
@@ -50,6 +51,13 @@ DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
 #: too.
 BYTE_BUCKETS = (1 << 10, 1 << 13, 1 << 16, 1 << 20, 1 << 23,
                 1 << 26, 1 << 30)
+
+#: Bucket upper bounds for q-error histograms (``stats.q_error``).
+#: Q-error is ``max(est/actual, actual/est)`` ≥ 1: the low buckets
+#: resolve the "estimates are good" range (≤2 is the acceptance bar
+#: on the TPC-H filters), the high ones the order-of-magnitude misses
+#: stale statistics produce.
+QERROR_BUCKETS = (1.1, 1.25, 1.5, 2.0, 4.0, 16.0, 64.0, 256.0)
 
 
 class Counter:

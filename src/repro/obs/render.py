@@ -23,8 +23,8 @@ import os
 from repro.obs.prof import format_bytes
 from repro.obs.tracer import Span
 
-__all__ = ["render_explain_analyze", "chrome_trace", "chrome_trace_json",
-           "phase_coverage", "format_pass_stats"]
+__all__ = ["render_explain_analyze", "render_plan", "chrome_trace",
+           "chrome_trace_json", "phase_coverage", "format_pass_stats"]
 
 #: Attributes whose values are unstable across runs (golden tests render
 #: with ``timings=False`` and rely on the remaining attributes only).
@@ -59,15 +59,42 @@ def _format_attr(value) -> str:
     return text
 
 
+#: Attributes folded into one ``rows est=… actual=… q=…`` token when a
+#: cardinality estimate is present.  ``est_rows``/``q_error`` exist
+#: only after an ``ANALYZE`` populated the session's statistics, so
+#: stats-free output (and the PR 2 golden files) stays byte-identical.
+_EST_ACTUAL_ATTRS = ("est_rows", "q_error", "rows_out", "rows_returned")
+
+
+def _est_actual_token(attrs: dict) -> str:
+    """``rows est=E actual=A q=Q`` for a span carrying an estimate
+    (``actual``/``q`` only when an actual row count was recorded)."""
+    est = attrs["est_rows"]
+    actual = attrs.get("rows_out", attrs.get("rows_returned"))
+    if actual is None:
+        return f"rows est={est}"
+    q = attrs.get("q_error")
+    if q is None:
+        from repro.stats import q_error
+        q = round(q_error(est, actual), 3)
+    return f"rows est={est} actual={actual} q={_format_attr(q)}"
+
+
 def _attr_suffix(span: Span) -> str:
     parts = []
-    for key, value in span.attrs.items():
+    attrs = span.attrs
+    estimated = attrs.get("est_rows") is not None
+    for key, value in attrs.items():
+        if estimated and key in _EST_ACTUAL_ATTRS:
+            continue
         label = _BYTE_ATTRS.get(key)
         if label is not None:
             parts.append(f"{label}={format_bytes(value)}")
         else:
             key = _RENAMED_ATTRS.get(key, key)
             parts.append(f"{key}={_format_attr(value)}")
+    if estimated:
+        parts.append(_est_actual_token(attrs))
     return f"  [{' '.join(parts)}]" if parts else ""
 
 
@@ -103,6 +130,41 @@ def render_explain_analyze(root: Span, *, timings: bool = True) -> str:
             lines.append(f"-- phases cover {covered * 1000:.3f} of "
                          f"{total_s * 1000:.3f} ms "
                          f"({fraction * 100:.1f}%)")
+    return "\n".join(lines)
+
+
+def render_plan(plan) -> str:
+    """The classic ``EXPLAIN`` view: the logical plan as an indented
+    tree, one line per operator, annotated with the estimated row count
+    (when the session's statistics cover the operator) and the output
+    columns.
+
+    ``plan`` is duck-typed — any tree whose nodes expose
+    ``describe()``, ``children()``, ``output_names()`` and an optional
+    ``est_rows`` renders, so this module needs no import of
+    :mod:`repro.sql.plan`."""
+    lines: list[str] = []
+
+    def emit(node, prefix: str, branch: str, last: bool) -> None:
+        parts = []
+        est = getattr(node, "est_rows", None)
+        if est is not None:
+            parts.append(f"est_rows={est}")
+        names = node.output_names()
+        if names:
+            parts.append("out=[" + ", ".join(names) + "]")
+        suffix = f"  [{' '.join(parts)}]" if parts else ""
+        lines.append(prefix + branch + node.describe() + suffix)
+        child_prefix = prefix
+        if branch:
+            child_prefix += "   " if last else "│  "
+        children = node.children()
+        for index, child in enumerate(children):
+            child_last = index == len(children) - 1
+            emit(child, child_prefix,
+                 "└─ " if child_last else "├─ ", child_last)
+
+    emit(plan, "", "", True)
     return "\n".join(lines)
 
 

@@ -80,7 +80,8 @@ QUERY_LOG_FIELDS = (
     "query_id", "ts", "fingerprint", "sql", "backend_requested",
     "backend", "opt_level", "n_threads", "cache_hit", "outcome",
     "error", "retries", "retried_from", "rows", "wall_seconds",
-    "phases", "slow", "alloc_bytes", "peak_bytes",
+    "phases", "slow", "alloc_bytes", "peak_bytes", "est_rows",
+    "q_error",
 )
 
 
@@ -376,6 +377,8 @@ class SessionTelemetry:
             "slow": False,
             "alloc_bytes": None,
             "peak_bytes": None,
+            "est_rows": None,
+            "q_error": None,
         }
 
     def finish_query(self, record: dict, session, root: Span | None,
@@ -401,6 +404,9 @@ class SessionTelemetry:
                 if "alloc_bytes" in attrs:
                     record["alloc_bytes"] = attrs["alloc_bytes"]
                     record["peak_bytes"] = attrs.get("peak_bytes")
+                if "est_rows" in attrs:
+                    record["est_rows"] = attrs["est_rows"]
+                    record["q_error"] = attrs.get("q_error")
                 record["phases"] = {
                     name: round(seconds, 9) for name, seconds
                     in phase_seconds(root).items()}

@@ -26,10 +26,17 @@ __all__ = ["PlanNode", "Scan", "Filter", "Project", "Join",
 
 @dataclass
 class PlanNode:
-    """Base class; ``output`` is the ordered (name, type) schema."""
+    """Base class; ``output`` is the ordered (name, type) schema.
+
+    ``est_rows`` is the cardinality estimate the statistics subsystem
+    (:mod:`repro.stats.estimate`) annotates after the plan passes run;
+    it stays ``None`` when no statistics cover the node's inputs and is
+    excluded from equality so estimates never affect plan comparison."""
 
     output: list[tuple[str, ht.HorseType]] = field(default_factory=list,
                                                    kw_only=True)
+    est_rows: int | None = field(default=None, kw_only=True,
+                                 compare=False)
 
     def children(self) -> list["PlanNode"]:
         return []
@@ -163,7 +170,10 @@ def plan_to_json(node: PlanNode) -> dict:
     """Serialize a plan tree to JSON (the MonetDB-plan-tree → JSON step)."""
     base = {
         "output": [[name, str(type_)] for name, type_ in node.output],
+        "output_names": node.output_names(),
     }
+    if node.est_rows is not None:
+        base["est_rows"] = node.est_rows
     if isinstance(node, Scan):
         base.update(op="scan", table=node.table, columns=list(node.columns))
     elif isinstance(node, Filter):

@@ -34,7 +34,7 @@ from repro.sql import ast
 from repro.sql import plan as p
 from repro.sql.udf import UDFRegistry
 
-__all__ = ["push_predicates", "prune_columns"]
+__all__ = ["push_predicates", "prune_columns", "reorder_by_selectivity"]
 
 
 # ---------------------------------------------------------------------------
@@ -323,3 +323,77 @@ def _prune_columns(node: p.PlanNode, needed: set[str]) -> p.PlanNode:
         return p.TableUDF(child, node.udf_name, node.input_columns,
                           output=list(node.output))
     raise PlanError(f"cannot prune {type(node).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# statistics-driven reordering
+# ---------------------------------------------------------------------------
+
+def reorder_by_selectivity(plan: p.PlanNode,
+                           udfs: UDFRegistry | None = None,
+                           table_stats=None) -> p.PlanNode:
+    """Order filter conjuncts and join build/probe sides by estimated
+    selectivity (the ``selectivity-reorder`` pass).
+
+    * Each ``Filter``'s conjuncts are stable-sorted most-selective
+      first, so short-circuiting executors reject rows as early as
+      possible.  Reordering an ``AND`` chain never changes the mask it
+      computes — output stays bit-identical.
+    * Each *inner* ``Join`` puts the smaller estimated input on the
+      **right**: ``@join_index`` builds its hash table on the right
+      input and probes with the left, so the build table should be the
+      small one.  Output columns are selected by name, so swapping
+      sides preserves the schema (row order may differ, as permitted
+      for an unordered join).
+
+    Without statistics (``table_stats`` is ``None`` or empty) the plan
+    is returned *unchanged* — same object — so pipelines that include
+    this pass are inert until the first ``ANALYZE``."""
+    if not table_stats:
+        return plan
+    return _reorder(plan, table_stats)
+
+
+def _reorder(node: p.PlanNode, store) -> p.PlanNode:
+    # Imported lazily: repro.stats imports repro.sql.plan; keeping the
+    # estimator out of this module's import time avoids the cycle.
+    from repro.stats.estimate import estimate_rows, predicate_selectivity
+
+    if isinstance(node, p.Filter):
+        child = _reorder(node.child, store)
+        conjuncts = _split_conjuncts(node.predicate)
+        if len(conjuncts) > 1:
+            ranked = sorted(
+                range(len(conjuncts)),
+                key=lambda i: (predicate_selectivity(conjuncts[i],
+                                                     child, store), i))
+            if ranked != list(range(len(conjuncts))):
+                ordered = _and_all([conjuncts[i] for i in ranked])
+                return p.Filter(child, ordered,
+                                output=list(node.output))
+        if child is node.child:
+            return node
+        return p.Filter(child, node.predicate,
+                        output=list(node.output))
+    if isinstance(node, p.Join):
+        left = _reorder(node.left, store)
+        right = _reorder(node.right, store)
+        if node.kind == "inner":
+            left_est = estimate_rows(left, store)
+            right_est = estimate_rows(right, store)
+            if left_est is not None and right_est is not None \
+                    and left_est < right_est:
+                return p.Join(right, left, list(node.right_keys),
+                              list(node.left_keys), node.kind,
+                              output=list(node.output))
+        if left is node.left and right is node.right:
+            return node
+        return p.Join(left, right, node.left_keys, node.right_keys,
+                      node.kind, output=list(node.output))
+    if isinstance(node, (p.Project, p.GroupAggregate, p.Sort, p.Limit,
+                         p.TableUDF)):
+        child = _reorder(node.child, store)
+        if child is not node.child:
+            node.child = child
+        return node
+    return node

@@ -38,7 +38,7 @@ __all__ = ["plan_query"]
 
 def plan_query(select: ast.Select, catalog: Catalog,
                udfs: UDFRegistry | None = None, *,
-               pipeline=None,
+               pipeline=None, table_stats=None,
                stats: OptimizeStats | None = None) -> p.PlanNode:
     """Plan a SELECT statement against ``catalog`` (+ registered UDFs).
 
@@ -48,11 +48,22 @@ def plan_query(select: ast.Select, catalog: Catalog,
     predicate pushdown then column pruning, which every preset includes
     — only a custom ``--passes`` list can drop them.  ``stats`` (when
     given) accumulates per-pass timing in its ``pass_stats``.
+
+    ``table_stats`` (a :class:`~repro.stats.StatsStore`, optional)
+    feeds the statistics-driven passes and, afterwards, the cardinality
+    estimator: every node of the final plan gets ``est_rows`` where the
+    statistics cover its inputs.  The annotation runs *after* the
+    passes so rebuilt nodes keep their estimates.
     """
     planner = _Planner(catalog, udfs or UDFRegistry())
     node = planner.plan_select(select)
     manager = PassManager(resolve_pipeline(pipeline))
-    return manager.run_plan(node, udfs=planner.udfs, stats=stats)
+    node = manager.run_plan(node, udfs=planner.udfs,
+                            table_stats=table_stats, stats=stats)
+    if table_stats:
+        from repro.stats.estimate import annotate_plan
+        annotate_plan(node, table_stats)
+    return node
 
 
 # ---------------------------------------------------------------------------

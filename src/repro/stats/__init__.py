@@ -1,0 +1,30 @@
+"""``repro.stats`` — table statistics and cardinality estimation.
+
+Two halves (see ``docs/statistics.md``):
+
+* :mod:`repro.stats.store` — the ``ANALYZE`` side: per-column row
+  counts, min/max, null fractions, exact distinct counts and
+  equi-depth histograms collected into a per-session
+  :class:`StatsStore` whose fingerprint feeds the plan-cache key;
+* :mod:`repro.stats.estimate` — the estimator: annotates every plan
+  node with ``est_rows`` from histogram selectivities and distinct
+  counts, and exposes :func:`predicate_selectivity` to the
+  ``selectivity-reorder`` plan pass.
+
+The package deliberately does not import :mod:`repro.obs` (the
+renderer imports :func:`q_error` from here) or the engine; it sees
+tables only as duck-typed column containers.
+"""
+
+from repro.stats.estimate import (DEFAULT_SELECTIVITY, annotate_plan,
+                                  estimate_rows, predicate_selectivity)
+from repro.stats.store import (DEFAULT_HISTOGRAM_BUCKETS,
+                               MISESTIMATE_THRESHOLD, ColumnStats,
+                               StatsStore, TableStats, q_error)
+
+__all__ = [
+    "ColumnStats", "TableStats", "StatsStore", "q_error",
+    "MISESTIMATE_THRESHOLD", "DEFAULT_HISTOGRAM_BUCKETS",
+    "annotate_plan", "estimate_rows", "predicate_selectivity",
+    "DEFAULT_SELECTIVITY",
+]

@@ -1,0 +1,285 @@
+"""Cardinality estimation: the planner side of ``repro.stats``.
+
+:func:`annotate_plan` walks a logical plan bottom-up and sets
+``est_rows`` on every node whose inputs are covered by analyzed tables
+(subtrees over unanalyzed tables stay unannotated rather than guessing
+from nothing).  The model is the textbook one:
+
+* **Scan** — the analyzed row count;
+* **Filter** — child rows × predicate selectivity.  Comparisons of a
+  column against a literal read the column's equi-depth histogram
+  (range operators) or ``1 / n_distinct`` (equality); ``BETWEEN`` is
+  the histogram-fraction difference, ``IN`` is ``k / n_distinct``,
+  ``AND`` multiplies, ``OR`` adds minus the overlap, ``NOT``
+  complements.  Anything opaque — UDF calls, column-vs-column
+  comparisons, ``LIKE`` — falls back to :data:`DEFAULT_SELECTIVITY`;
+* **Join** (inner, equi-key) — ``|L| × |R| / max(ndv_L, ndv_R)`` per
+  key pair, capped at the cross product;
+* **GroupAggregate** — the product of the key columns' distinct
+  counts, capped at the child's rows (1 for global aggregates);
+* **Project / Sort / TableUDF** pass the child estimate through,
+  **Limit** caps it.
+
+Column references resolve *through* the plan: a filter above a
+projection or join chases ``Col`` pass-throughs down to the scan that
+produced the column, so statistics keyed by base table apply at any
+plan depth.  Selectivities are scaled by the column's non-null
+fraction — comparisons never match nulls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sql import ast
+from repro.sql import plan as p
+from repro.stats.store import ColumnStats, StatsStore
+
+__all__ = ["annotate_plan", "estimate_rows", "predicate_selectivity",
+           "DEFAULT_SELECTIVITY"]
+
+#: Selectivity assumed for predicates the model cannot see through
+#: (UDF calls, column-vs-column comparisons, LIKE, ...).
+DEFAULT_SELECTIVITY = 1.0 / 3.0
+
+
+def annotate_plan(node: p.PlanNode, store: StatsStore) -> float | None:
+    """Set ``est_rows`` on ``node`` and every descendant; returns the
+    root estimate (``None`` when the inputs are unanalyzed)."""
+    est = estimate_rows(node, store)
+    if est is not None:
+        node.est_rows = int(round(est))
+    for child in node.children():
+        annotate_plan(child, store)
+    return est
+
+
+def estimate_rows(node: p.PlanNode, store: StatsStore) -> float | None:
+    if isinstance(node, p.Scan):
+        stats = store.table(node.table)
+        return float(stats.row_count) if stats is not None else None
+    if isinstance(node, p.Filter):
+        child = estimate_rows(node.child, store)
+        if child is None:
+            return None
+        return child * predicate_selectivity(node.predicate, node.child,
+                                             store)
+    if isinstance(node, p.Join):
+        return _estimate_join(node, store)
+    if isinstance(node, p.GroupAggregate):
+        return _estimate_group(node, store)
+    if isinstance(node, p.Limit):
+        child = estimate_rows(node.child, store)
+        if child is None:
+            return None
+        return min(child, float(node.count))
+    if isinstance(node, (p.Project, p.Sort, p.TableUDF)):
+        return estimate_rows(node.child, store)
+    return None
+
+
+def _estimate_join(node: p.Join, store: StatsStore) -> float | None:
+    left = estimate_rows(node.left, store)
+    right = estimate_rows(node.right, store)
+    if left is None or right is None:
+        return None
+    est = left * right
+    for lkey, rkey in zip(node.left_keys, node.right_keys):
+        lstats = _column_stats(node.left, lkey, store)
+        rstats = _column_stats(node.right, rkey, store)
+        ndv = max(
+            lstats.n_distinct if lstats is not None else 0,
+            rstats.n_distinct if rstats is not None else 0,
+        )
+        if ndv > 0:
+            est /= ndv
+        else:
+            # No distinct counts on either key: assume a foreign-key
+            # join (the larger side survives).
+            est = max(left, right)
+            break
+    return min(est, left * right)
+
+
+def _estimate_group(node: p.GroupAggregate,
+                    store: StatsStore) -> float | None:
+    child = estimate_rows(node.child, store)
+    if child is None:
+        return None
+    if not node.keys:
+        return 1.0
+    groups = 1.0
+    for key in node.keys:
+        stats = _column_stats(node.child, key, store)
+        if stats is not None and stats.n_distinct > 0:
+            groups *= stats.n_distinct
+        else:
+            groups = child  # unknown key: assume no reduction
+            break
+    return min(groups, child)
+
+
+# ---------------------------------------------------------------------------
+# predicate selectivity
+# ---------------------------------------------------------------------------
+
+def predicate_selectivity(expr: ast.Expr, node: p.PlanNode,
+                          store: StatsStore) -> float:
+    """Estimated fraction of ``node``'s rows satisfying ``expr``."""
+    sel = _selectivity(expr, node, store)
+    return min(max(sel, 0.0), 1.0)
+
+
+def _selectivity(expr: ast.Expr, node: p.PlanNode,
+                 store: StatsStore) -> float:
+    if isinstance(expr, ast.BinOp):
+        if expr.op == "and":
+            return (_selectivity(expr.left, node, store)
+                    * _selectivity(expr.right, node, store))
+        if expr.op == "or":
+            left = _selectivity(expr.left, node, store)
+            right = _selectivity(expr.right, node, store)
+            return left + right - left * right
+        if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+            return _comparison_selectivity(expr, node, store)
+        return DEFAULT_SELECTIVITY
+    if isinstance(expr, ast.UnOp) and expr.op == "not":
+        return 1.0 - _selectivity(expr.operand, node, store)
+    if isinstance(expr, ast.Between):
+        sel = _between_selectivity(expr, node, store)
+        return 1.0 - sel if expr.negated else sel
+    if isinstance(expr, ast.InList):
+        sel = _in_selectivity(expr, node, store)
+        return 1.0 - sel if expr.negated else sel
+    return DEFAULT_SELECTIVITY
+
+
+def _comparison_selectivity(expr: ast.BinOp, node: p.PlanNode,
+                            store: StatsStore) -> float:
+    column, literal, op = _column_vs_literal(expr)
+    if column is None:
+        return DEFAULT_SELECTIVITY
+    stats = _column_stats(node, column, store)
+    if stats is None or stats.count == 0:
+        return DEFAULT_SELECTIVITY
+    nonnull = 1.0 - stats.null_fraction
+    if op == "=":
+        return nonnull * _eq_fraction(stats, literal)
+    if op == "<>":
+        return nonnull * (1.0 - _eq_fraction(stats, literal))
+    value = _numeric_literal(literal)
+    if value is None:
+        return DEFAULT_SELECTIVITY
+    le = stats.fraction_le(value)
+    if le is None:
+        return DEFAULT_SELECTIVITY
+    # The continuous model does not split < from <= (a single point
+    # carries ~1/n_distinct mass, already below histogram resolution).
+    if op in ("<", "<="):
+        return nonnull * le
+    return nonnull * (1.0 - le)
+
+
+def _between_selectivity(expr: ast.Between, node: p.PlanNode,
+                         store: StatsStore) -> float:
+    if not isinstance(expr.expr, ast.Col):
+        return DEFAULT_SELECTIVITY
+    stats = _column_stats(node, expr.expr.name, store)
+    low = _numeric_literal(expr.low)
+    high = _numeric_literal(expr.high)
+    if stats is None or low is None or high is None:
+        return DEFAULT_SELECTIVITY
+    lo_le = stats.fraction_le(low)
+    hi_le = stats.fraction_le(high)
+    if lo_le is None or hi_le is None:
+        return DEFAULT_SELECTIVITY
+    return (1.0 - stats.null_fraction) * max(hi_le - lo_le, 0.0)
+
+
+def _in_selectivity(expr: ast.InList, node: p.PlanNode,
+                    store: StatsStore) -> float:
+    if not isinstance(expr.expr, ast.Col):
+        return DEFAULT_SELECTIVITY
+    stats = _column_stats(node, expr.expr.name, store)
+    if stats is None or stats.n_distinct == 0:
+        return DEFAULT_SELECTIVITY
+    sel = sum(_eq_fraction(stats, item) for item in expr.items)
+    return (1.0 - stats.null_fraction) * min(sel, 1.0)
+
+
+def _eq_fraction(stats: ColumnStats, literal: ast.Expr | None) -> float:
+    """Fraction of non-null values equal to ``literal`` under the
+    uniform-distinct model; 0 when the literal is provably outside the
+    column's range."""
+    if stats.n_distinct == 0:
+        return 0.0
+    value = _numeric_literal(literal)
+    if value is not None and stats.bounds is not None \
+            and (value < stats.bounds[0] or value > stats.bounds[-1]):
+        return 0.0
+    return 1.0 / stats.n_distinct
+
+
+def _column_vs_literal(expr: ast.BinOp
+                       ) -> tuple[str | None, ast.Expr | None, str]:
+    """Normalize ``col <op> literal`` / ``literal <op> col`` to the
+    column-on-the-left form; ``(None, None, op)`` when neither side
+    fits."""
+    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+               "=": "=", "<>": "<>"}
+    if isinstance(expr.left, ast.Col) and _is_literal(expr.right):
+        return expr.left.name, expr.right, expr.op
+    if isinstance(expr.right, ast.Col) and _is_literal(expr.left):
+        return expr.right.name, expr.left, flipped[expr.op]
+    return None, None, expr.op
+
+
+def _is_literal(expr: ast.Expr) -> bool:
+    return isinstance(expr, (ast.IntLit, ast.FloatLit, ast.StrLit,
+                             ast.DateLit))
+
+
+def _numeric_literal(expr: ast.Expr | None) -> float | None:
+    """The literal in the histogram's float domain (dates become days
+    since epoch, matching :func:`repro.stats.store._numeric_view`)."""
+    if isinstance(expr, ast.IntLit):
+        return float(expr.value)
+    if isinstance(expr, ast.FloatLit):
+        return float(expr.value)
+    if isinstance(expr, ast.DateLit):
+        return float(np.datetime64(expr.value, "D").astype(np.int64))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# column resolution
+# ---------------------------------------------------------------------------
+
+def _column_stats(node: p.PlanNode, name: str,
+                  store: StatsStore) -> ColumnStats | None:
+    """Chase ``name`` down the plan to the base-table column that
+    produces it (through filters, sorts, joins, and ``Col``
+    pass-through projections)."""
+    if isinstance(node, p.Scan):
+        stats = store.table(node.table)
+        return stats.column(name) if stats is not None else None
+    if isinstance(node, (p.Filter, p.Sort, p.Limit)):
+        return _column_stats(node.child, name, store)
+    if isinstance(node, p.Project):
+        for out_name, expr in node.items:
+            if out_name == name:
+                if isinstance(expr, ast.Col):
+                    return _column_stats(node.child, expr.name, store)
+                return None
+        return None
+    if isinstance(node, p.Join):
+        if name in node.left.output_names():
+            return _column_stats(node.left, name, store)
+        if name in node.right.output_names():
+            return _column_stats(node.right, name, store)
+        return None
+    if isinstance(node, p.GroupAggregate):
+        if name in node.keys:
+            return _column_stats(node.child, name, store)
+        return None
+    return None

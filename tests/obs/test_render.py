@@ -1,5 +1,6 @@
-"""Renderer tests: EXPLAIN ANALYZE (golden), Chrome trace round-trip,
-and end-to-end instrumentation of both systems on TPC-H."""
+"""Renderer tests: EXPLAIN ANALYZE (golden), the estimated-plan
+renderer (golden), Chrome trace round-trip, and end-to-end
+instrumentation of both systems on TPC-H."""
 
 import json
 import os
@@ -10,9 +11,12 @@ from repro.data.tpch import generate_tpch
 from repro.horsepower import HorsePowerSystem, MonetDBLike
 from repro.obs import (Tracer, chrome_trace, chrome_trace_json,
                        phase_coverage, render_explain_analyze,
-                       use_tracer)
+                       render_plan, use_tracer)
+from repro.sql.parser import parse_sql
+from repro.sql.planner import plan_query
 from repro.sql.udf import UDFRegistry
-from repro.workloads.tpch_queries import UDF_QUERIES, register_tpch_udfs
+from repro.workloads.tpch_queries import (PLAIN_QUERIES, UDF_QUERIES,
+                                          register_tpch_udfs)
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
 
@@ -76,6 +80,41 @@ class TestExplainAnalyze:
         assert total > 0
         assert covered <= total * 1.001
         assert fraction > 0.90
+
+
+def _estimated_plan(hp, sql):
+    """Plan ``sql`` with the system's (analyzed) statistics, as
+    ``run-sql --analyze --explain`` does."""
+    stats = hp.stats
+    return plan_query(parse_sql(sql), hp.db.catalog(), hp.udfs,
+                      table_stats=stats if stats.enabled else None)
+
+
+class TestExplainPlanGolden:
+    """``--explain`` renderings (est_rows per operator after ANALYZE)
+    for Q6 plain and the Froid-style Q6 UDF rewrite are stable: TPC-H
+    generation is seeded, so histograms — and therefore every estimate
+    — are deterministic at a fixed scale.  Regenerate with
+    ``python tests/obs/test_render.py``."""
+
+    @pytest.mark.parametrize("queries,golden", [
+        (PLAIN_QUERIES, "explain_plan_q6.txt"),
+        (UDF_QUERIES, "explain_plan_q6_udf.txt"),
+    ], ids=["plain", "udf"])
+    def test_golden_q6_estimated_plan(self, hp_system, queries, golden):
+        hp_system.analyze()
+        rendered = render_plan(_estimated_plan(hp_system,
+                                               queries["q6"]))
+        with open(os.path.join(GOLDEN_DIR, golden)) as handle:
+            assert rendered == handle.read().rstrip("\n")
+
+    def test_plan_without_stats_renders_without_est_rows(self,
+                                                         hp_system):
+        plan = plan_query(parse_sql(PLAIN_QUERIES["q6"]),
+                          hp_system.db.catalog(), hp_system.udfs)
+        rendered = render_plan(plan)
+        assert "est_rows" not in rendered
+        assert "out=[" in rendered
 
 
 class TestSpanTaxonomy:
@@ -154,6 +193,14 @@ def _regenerate_golden() -> None:
     with open(path, "w") as handle:
         handle.write(render_explain_analyze(root, timings=False) + "\n")
     print(f"wrote {path}")
+    hp.analyze()
+    for queries, name in ((PLAIN_QUERIES, "explain_plan_q6.txt"),
+                          (UDF_QUERIES, "explain_plan_q6_udf.txt")):
+        path = os.path.join(GOLDEN_DIR, name)
+        with open(path, "w") as handle:
+            handle.write(render_plan(_estimated_plan(hp, queries["q6"]))
+                         + "\n")
+        print(f"wrote {path}")
 
 
 if __name__ == "__main__":

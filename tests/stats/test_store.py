@@ -1,0 +1,148 @@
+"""ANALYZE mechanics: per-column statistics, equi-depth histograms,
+the q-error metric, and the store's fingerprint/versioning contract."""
+
+import numpy as np
+import pytest
+
+from repro.core import types as ht
+from repro.engine.table import ColumnTable
+from repro.stats import (DEFAULT_HISTOGRAM_BUCKETS,
+                         MISESTIMATE_THRESHOLD, StatsStore, q_error)
+from repro.stats.store import analyze_column
+
+
+class TestQError:
+    def test_perfect_estimate_is_one(self):
+        assert q_error(10, 10) == 1.0
+
+    def test_symmetric(self):
+        assert q_error(1, 4) == q_error(4, 1) == 4.0
+
+    def test_zero_clamps_to_one_row(self):
+        assert q_error(0, 0) == 1.0
+        assert q_error(0, 5) == 5.0
+
+    def test_threshold_is_twice_the_acceptance_bar(self):
+        assert MISESTIMATE_THRESHOLD == 4.0
+
+
+class TestAnalyzeColumn:
+    def test_uniform_ints_exact_edges_and_ndv(self):
+        stats = analyze_column("x", np.arange(1000, dtype=np.int64),
+                               ht.I64)
+        assert stats.count == 1000
+        assert stats.null_count == 0
+        assert stats.n_distinct == 1000
+        assert stats.min == 0 and stats.max == 999
+        assert len(stats.bounds) == len(stats.depths) + 1
+        assert stats.bounds[0] == 0 and stats.bounds[-1] == 999
+        assert int(stats.depths.sum()) == 1000
+
+    def test_fraction_le_tracks_true_quantiles(self):
+        stats = analyze_column("x", np.arange(1000, dtype=np.int64),
+                               ht.I64)
+        for value, expected in ((499, 0.5), (99, 0.1), (899, 0.9)):
+            assert stats.fraction_le(value) == \
+                pytest.approx(expected, abs=0.02)
+        assert stats.fraction_le(-1) == 0.0
+        assert stats.fraction_le(5000) == 1.0
+
+    def test_float_nulls_excluded_from_everything(self):
+        values = np.array([1.0, np.nan, 3.0, np.nan, 5.0])
+        stats = analyze_column("x", values, ht.F64)
+        assert stats.count == 5
+        assert stats.null_count == 2
+        assert stats.null_fraction == pytest.approx(0.4)
+        assert stats.n_distinct == 3
+        assert stats.min == 1.0 and stats.max == 5.0
+        assert int(stats.depths.sum()) == 3
+
+    def test_dates_histogram_in_days_since_epoch(self):
+        days = np.arange(9131, 9131 + 365)  # the year 1995
+        values = days.astype("datetime64[D]")
+        stats = analyze_column("d", values, ht.DATE)
+        assert stats.n_distinct == 365
+        mid = float(days[len(days) // 2])
+        assert stats.fraction_le(mid) == pytest.approx(0.5, abs=0.02)
+
+    def test_strings_get_ndv_but_no_histogram(self):
+        values = np.array(["apple", "pear", "apple", "fig"],
+                          dtype=object)
+        stats = analyze_column("s", values, ht.STR)
+        assert stats.n_distinct == 3
+        assert stats.min == "apple" and stats.max == "pear"
+        assert stats.bounds is None and stats.depths is None
+        assert stats.fraction_le(0.0) is None
+
+    def test_heavy_duplicates_collapse_buckets_not_counts(self):
+        values = np.array([7] * 990 + list(range(10)), dtype=np.int64)
+        stats = analyze_column("x", values, ht.I64)
+        assert int(stats.depths.sum()) == 1000
+        assert stats.n_distinct == 10
+        # Collapsed boundaries merge: strictly increasing interior.
+        assert np.all(np.diff(stats.bounds) >= 0)
+
+    def test_empty_column(self):
+        stats = analyze_column("x", np.array([], dtype=np.int64),
+                               ht.I64)
+        assert stats.count == 0 and stats.n_distinct == 0
+        assert stats.min is None and stats.fraction_le(1.0) is None
+
+    def test_bucket_count_honors_request(self):
+        stats = analyze_column("x", np.arange(10_000, dtype=np.int64),
+                               ht.I64, buckets=8)
+        assert len(stats.depths) == 8
+        default = analyze_column("x", np.arange(10_000, dtype=np.int64),
+                                 ht.I64)
+        assert len(default.depths) == DEFAULT_HISTOGRAM_BUCKETS
+
+    def test_to_dict_is_json_shaped(self):
+        stats = analyze_column("x", np.arange(10, dtype=np.int64),
+                               ht.I64)
+        info = stats.to_dict()
+        assert info["name"] == "x"
+        assert info["count"] == 10
+        assert info["histogram_buckets"] == len(stats.depths)
+
+
+def _table(rows=100):
+    return ColumnTable("t", {
+        "x": np.arange(rows, dtype=np.int64),
+        "y": np.linspace(0.0, 1.0, rows),
+    })
+
+
+class TestStatsStore:
+    def test_disabled_and_unfingerprinted_until_first_analyze(self):
+        store = StatsStore()
+        assert not store.enabled
+        assert store.fingerprint() is None
+        assert not store
+        assert len(store) == 0
+
+    def test_analyze_enables_and_fills(self):
+        store = StatsStore()
+        table_stats = store.analyze("t", _table())
+        assert store.enabled
+        assert "t" in store
+        assert store.table("t") is table_stats
+        assert table_stats.row_count == 100
+        assert table_stats.column("x").n_distinct == 100
+        assert table_stats.column("missing") is None
+
+    def test_fingerprint_bumps_on_every_analyze(self):
+        store = StatsStore()
+        store.analyze("t", _table())
+        first = store.fingerprint()
+        store.analyze("t", _table(200))
+        second = store.fingerprint()
+        assert first is not None and second is not None
+        assert first != second
+
+    def test_clear_disables_and_restores_legacy_fingerprint(self):
+        store = StatsStore()
+        store.analyze("t", _table())
+        store.clear()
+        assert not store.enabled
+        assert store.fingerprint() is None
+        assert store.tables() == []

@@ -248,3 +248,55 @@ def test_compile_sql_o0_preset_skips_ir_passes(csv_table, capsys):
     out = capsys.readouterr().out
     assert "@load_table" in out
     assert "pass statistics" not in out
+
+
+def test_analyze_command_prints_column_stats(csv_table, capsys):
+    code = main(["analyze",
+                 "--table", f"t={csv_table}@x:f64,label:str"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "table t: 3 rows" in out
+    assert "ndv=3" in out          # x: 1.0, 2.0, 3.0
+    assert "min=1.0 max=3.0" in out
+
+
+def test_analyze_command_single_table(capsys):
+    code = main(["analyze", "--tpch", "0.001", "region"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "table region" in out
+    assert "lineitem" not in out
+
+
+def test_run_sql_explain_prints_plan_without_executing(csv_table,
+                                                       capsys):
+    code = main(["run-sql", "--explain",
+                 "--table", f"t={csv_table}@x:f64,label:str",
+                 "SELECT SUM(x) AS s FROM t WHERE x > 1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "EXPLAIN" in out
+    assert "scan t[" in out
+    assert "est_rows=" not in out  # no stats collected
+    assert "no statistics collected" in out
+    assert "5.0" not in out        # the result (2+3) never printed
+
+
+def test_run_sql_analyze_explain_shows_estimates(csv_table, capsys):
+    code = main(["run-sql", "--analyze", "--explain",
+                 "--table", f"t={csv_table}@x:f64,label:str",
+                 "SELECT SUM(x) AS s FROM t WHERE x > 1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "est_rows=3" in out     # the scan sees all three rows
+    assert "no statistics collected" not in out
+
+
+def test_run_sql_analyze_enriches_explain_analyze(csv_table, capsys):
+    code = main(["run-sql", "--analyze", "--explain-analyze",
+                 "--table", f"t={csv_table}@x:f64,label:str",
+                 "SELECT SUM(x) AS s FROM t WHERE x > 1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "EXPLAIN ANALYZE" in out
+    assert "rows est=" in out and "actual=" in out

@@ -51,6 +51,13 @@ the plan-cache key and the ``if self.stats.enabled:`` branch after
 execution (``plan_sql`` pays a third on the cold path only).  Both are
 measured on an empty store and bounded by the same **<2%** bar.
 
+Static analysis (PR 10) adds **zero** new disabled sites: the semantic
+type/shape checker runs inside ``_verify_method``/``_verify_module``,
+entirely behind the verifier's existing ``if not self.verify: return``
+early exit measured above — so the PR-8 verifier gate is also the
+disabled-analysis gate, with the same site count and the same **<2%**
+bar.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py

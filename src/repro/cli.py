@@ -16,6 +16,11 @@ Commands:
   min/max, distinct counts, equi-depth histograms) and print them;
   ``run-sql --analyze`` collects the same statistics before running, and
   ``run-sql --explain`` prints the estimated plan without executing.
+* ``lint``           — run the static-analysis rules (stable IDs
+  H001…/P001…/M001…) over a SQL query's plan and compiled HorseIR, a
+  MATLAB source file, or every built-in workload (``--workloads``);
+  ``--format json`` emits the machine-readable schema.  Exits 0 when
+  clean, 1 with findings, 2 on a compile/parse error.
 """
 
 from __future__ import annotations
@@ -357,6 +362,131 @@ def _validate_passes(args) -> None:
         raise SystemExit(str(exc)) from exc
 
 
+def _resolve_lint_rules(args) -> "tuple[str, ...] | None":
+    """``--select``/``--all`` → the rule-ID tuple the drivers take."""
+    from repro.core.analysis import RULES
+
+    if args.select:
+        ids = tuple(part.strip().upper()
+                    for part in args.select.split(",") if part.strip())
+        unknown = [rule_id for rule_id in ids if rule_id not in RULES]
+        if unknown:
+            raise SystemExit(
+                f"unknown rule id(s) {', '.join(unknown)}; known: "
+                f"{', '.join(RULES)}")
+        return ids
+    if args.all:
+        return tuple(RULES)
+    return None  # the default-on set
+
+
+def _lint_sql(args, sql: str, rules) -> list:
+    """Lint one query at both layers: the planned tree and the
+    optimized HorseIR module."""
+    from repro.core.analysis import lint_module, lint_plan
+    from repro.horsepower import HorsePowerSystem
+    from repro.sql.parser import parse_sql
+    from repro.sql.planner import plan_query
+
+    db = _load_tables(args)
+    hp = HorsePowerSystem(db)
+    stats = hp.stats
+    plan = plan_query(parse_sql(sql), db.catalog(), hp.udfs,
+                      pipeline=args.passes,
+                      table_stats=stats if stats.enabled else None)
+    findings = lint_plan(plan, rules)
+    compiled = hp.compile_sql(sql, pipeline=args.passes)
+    findings.extend(lint_module(compiled.program.module, rules))
+    return findings
+
+
+def _lint_workloads(args, rules) -> list:
+    """Lint every built-in workload: all TPC-H plain/UDF queries and
+    Black-Scholes variants (plan + optimized module) plus the MATLAB
+    sources they compile from.  This is the CI clean-tree gate."""
+    from repro.core.analysis import lint_matlab, lint_module, lint_plan
+    from repro.data.blackscholes import load_blackscholes_table
+    from repro.data.tpch import generate_tpch
+    from repro.engine.storage import Database
+    from repro.horsepower import HorsePowerSystem
+    from repro.matlang.parser import parse_program
+    from repro.sql.parser import parse_sql
+    from repro.sql.planner import plan_query
+    from repro.workloads import bs_queries, matlab_sources
+    from repro.workloads.tpch_queries import (EXTENDED_PLAIN_QUERIES,
+                                              PLAIN_QUERIES,
+                                              UDF_QUERIES,
+                                              register_tpch_udfs)
+
+    tpch_db = generate_tpch(scale_factor=args.tpch or 0.002)
+    tpch = HorsePowerSystem(tpch_db)
+    register_tpch_udfs(tpch)
+    bs_db = Database()
+    load_blackscholes_table(bs_db, 500)
+    bs = HorsePowerSystem(bs_db)
+    bs_queries.register_bs_udfs(bs)
+
+    work = [(tpch, tpch_db, f"tpch/{name}", sql) for name, sql in
+            {**PLAIN_QUERIES, **EXTENDED_PLAIN_QUERIES,
+             **UDF_QUERIES}.items()]
+    work += [(bs, bs_db, f"bs-scalar/{name}", sql)
+             for name, sql in bs_queries.SCALAR_QUERIES.items()]
+    work += [(bs, bs_db, f"bs-table/{name}", sql)
+             for name, sql in bs_queries.TABLE_QUERIES.items()]
+
+    findings = []
+    for system, db, tag, sql in work:
+        plan = plan_query(parse_sql(sql), db.catalog(), system.udfs,
+                          pipeline=args.passes)
+        for finding in lint_plan(plan, rules):
+            findings.append(finding._replace(
+                location=f"{tag}: {finding.location}"))
+        compiled = system.compile_sql(sql, pipeline=args.passes)
+        for finding in lint_module(compiled.program.module, rules):
+            findings.append(finding._replace(
+                location=f"{tag}: {finding.location}"))
+    for name in matlab_sources.__all__:
+        program = parse_program(getattr(matlab_sources, name))
+        for finding in lint_matlab(program, rules):
+            findings.append(finding._replace(
+                location=f"matlab/{name}: {finding.location}"))
+    return findings
+
+
+def _cmd_lint(args) -> int:
+    from repro.core.analysis import lint_matlab
+    from repro.errors import ReproError
+
+    _validate_passes(args)
+    rules = _resolve_lint_rules(args)
+    if not (args.workloads or args.sql or args.matlab):
+        raise SystemExit(
+            "nothing to lint: pass --sql QUERY, --matlab FILE, or "
+            "--workloads")
+    findings = []
+    try:
+        if args.workloads:
+            findings.extend(_lint_workloads(args, rules))
+        if args.sql:
+            findings.extend(_lint_sql(args, args.sql, rules))
+        if args.matlab:
+            from repro.matlang.parser import parse_program
+            with open(args.matlab) as handle:
+                program = parse_program(handle.read())
+            findings.extend(lint_matlab(program, rules))
+    except (ReproError, OSError) as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        from repro.core.analysis import findings_to_json
+        print(json.dumps(findings_to_json(findings), indent=2))
+    else:
+        from repro.obs import format_lint_findings
+        print(format_lint_findings(findings))
+    return 1 if findings else 0
+
+
 def _cmd_compile_sql(args) -> int:
     from repro.core.printer import print_module
     from repro.horsepower import HorsePowerSystem
@@ -599,6 +729,35 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("table_name", nargs="?",
                          help="analyze only this table (default: all)")
     analyze.set_defaults(fn=_cmd_analyze)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run static-analysis rules over IR, plans, and MATLAB")
+    add_table_args(lint)
+    lint.add_argument("--sql", metavar="QUERY",
+                      help="lint this query's plan and compiled "
+                           "HorseIR (needs --table/--tpch)")
+    lint.add_argument("--matlab", metavar="FILE",
+                      help="lint a MATLAB source file")
+    lint.add_argument("--workloads", action="store_true",
+                      help="lint every built-in TPC-H and "
+                           "Black-Scholes workload plus the bundled "
+                           "MATLAB sources (the CI clean-tree gate)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text",
+                      help="output format (json follows the schema in "
+                           "docs/analysis.md)")
+    lint.add_argument("--select", metavar="IDS",
+                      help="comma-separated rule IDs to run (e.g. "
+                           "H001,P002), overriding the default-on set")
+    lint.add_argument("--all", action="store_true",
+                      help="enable every rule, including default-off "
+                           "advisories (H004 fusion report, P003 "
+                           "LIMIT-less sort)")
+    lint.add_argument("--passes", metavar="SPEC",
+                      help="optimization pipeline to compile under "
+                           "(preset or comma-separated pass list)")
+    lint.set_defaults(fn=_cmd_lint)
     return parser
 
 

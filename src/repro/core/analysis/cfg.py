@@ -1,0 +1,138 @@
+"""Control-flow graph construction over structured HorseIR.
+
+The IR keeps ``if``/``while`` structured (there are no labels or
+gotos), so the CFG is derived, not parsed: every straight-line run of
+statements becomes a :class:`BasicBlock`, and a block whose *last*
+statement is an :class:`~repro.core.ir.If` or
+:class:`~repro.core.ir.While` is a branch block — the control
+statement appears in the block as a condition *read* (its
+:func:`~repro.core.depgraph.stmt_uses` are the condition's variables,
+its :func:`~repro.core.depgraph.stmt_def` is ``None``), never as a
+definition.  ``return`` statements edge to the synthetic exit block.
+
+This shape is exactly what the worklist solver in
+:mod:`~repro.core.analysis.dataflow` consumes: transfer functions fold
+over ``block.stmts`` with the ``stmt_uses``/``stmt_def`` vocabulary the
+dependence graph already established.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import ir
+
+__all__ = ["CFG", "BasicBlock", "build_cfg"]
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of statements with single entry/exit."""
+
+    index: int
+    stmts: list[ir.Stmt] = field(default_factory=list)
+
+
+class CFG:
+    """Blocks plus directed edges; ``entry`` and ``exit`` are synthetic
+    endpoints (``exit`` is always empty, ``entry`` may hold code)."""
+
+    def __init__(self) -> None:
+        self.blocks: list[BasicBlock] = []
+        self.succs: list[list[int]] = []
+        self.entry: int = 0
+        self.exit: int = 0
+
+    def new_block(self) -> int:
+        index = len(self.blocks)
+        self.blocks.append(BasicBlock(index))
+        self.succs.append([])
+        return index
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.succs[src]:
+            self.succs[src].append(dst)
+
+    @property
+    def preds(self) -> list[list[int]]:
+        result: list[list[int]] = [[] for _ in self.blocks]
+        for src, dsts in enumerate(self.succs):
+            for dst in dsts:
+                result[dst].append(src)
+        return result
+
+    def statements(self):
+        """Every statement, in block order (branch statements once)."""
+        for block in self.blocks:
+            yield from block.stmts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        edges = ", ".join(f"{i}->{d}" for i, ds in enumerate(self.succs)
+                          for d in ds)
+        return f"<CFG {len(self.blocks)} blocks [{edges}]>"
+
+
+def build_cfg(method: ir.Method) -> CFG:
+    """Lower ``method``'s structured body to a CFG."""
+    cfg = CFG()
+    entry = cfg.new_block()
+    exit_block = cfg.new_block()
+    cfg.entry = entry
+    cfg.exit = exit_block
+    last = _lower(method.body, entry, cfg, exit_block)
+    if last is not None:
+        # A body that falls off the end (the verifier rejects this, but
+        # the CFG stays total anyway).
+        cfg.add_edge(last, exit_block)
+    return cfg
+
+
+def _lower(body: list[ir.Stmt], current: int | None, cfg: CFG,
+           exit_block: int) -> int | None:
+    """Append ``body`` starting at ``current``; returns the open block
+    at the end, or ``None`` when every path terminated."""
+    for stmt in body:
+        if current is None:
+            # Unreachable code still gets a (predecessor-less) block so
+            # analyses see every statement.
+            current = cfg.new_block()
+        if isinstance(stmt, ir.Return):
+            cfg.blocks[current].stmts.append(stmt)
+            cfg.add_edge(current, exit_block)
+            current = None
+        elif isinstance(stmt, ir.If):
+            cfg.blocks[current].stmts.append(stmt)
+            then_entry = cfg.new_block()
+            cfg.add_edge(current, then_entry)
+            then_end = _lower(stmt.then_body, then_entry, cfg, exit_block)
+            if stmt.else_body:
+                else_entry = cfg.new_block()
+                cfg.add_edge(current, else_entry)
+                else_end = _lower(stmt.else_body, else_entry, cfg,
+                                  exit_block)
+            else:
+                else_end = None
+            join = cfg.new_block()
+            if then_end is not None:
+                cfg.add_edge(then_end, join)
+            if stmt.else_body:
+                if else_end is not None:
+                    cfg.add_edge(else_end, join)
+            else:
+                cfg.add_edge(current, join)
+            current = join if cfg.preds[join] else None
+        elif isinstance(stmt, ir.While):
+            head = cfg.new_block()
+            cfg.add_edge(current, head)
+            cfg.blocks[head].stmts.append(stmt)
+            body_entry = cfg.new_block()
+            cfg.add_edge(head, body_entry)
+            body_end = _lower(stmt.body, body_entry, cfg, exit_block)
+            if body_end is not None:
+                cfg.add_edge(body_end, head)
+            after = cfg.new_block()
+            cfg.add_edge(head, after)
+            current = after
+        else:
+            cfg.blocks[current].stmts.append(stmt)
+    return current

@@ -1,0 +1,38 @@
+"""The compile-time semantic checker (``--verify-ir``'s semantic half).
+
+Structural verification (:mod:`repro.core.verify_ir`) guarantees the
+IR is *well-formed*; this module guarantees it is *well-typed*: every
+builtin receives element types its contract admits, every broadcast
+has compatible lengths, every cast can actually coerce at runtime, and
+every assignment/return lands in a slot that can hold it.  Violations
+raise :class:`~repro.errors.HorseTypeError` naming the method and the
+offending statement — *before* execution, instead of a
+:class:`~repro.errors.BuiltinError` deep inside the interpreter or a
+fused kernel.
+
+The :class:`~repro.core.passes.PassManager` runs this after every pass
+application when ``verify=True``, caching the per-method verdict on
+its :class:`~repro.core.passes.AnalysisCache` so fixed-point rounds
+that change nothing re-check nothing.
+"""
+
+from __future__ import annotations
+
+from repro.core import ir
+from repro.core.analysis.typeshape import infer_method
+
+__all__ = ["check_method", "check_module"]
+
+
+def check_method(method: ir.Method,
+                 module: ir.Module | None = None) -> None:
+    """Type/shape-check one method; raises
+    :class:`~repro.errors.HorseTypeError` on the first violation
+    (``module`` enables method-call signature checking)."""
+    infer_method(method, module, strict=True)
+
+
+def check_module(module: ir.Module) -> None:
+    """Check every method of ``module``."""
+    for method in module.methods.values():
+        check_method(method, module)

@@ -1,0 +1,421 @@
+"""A generic worklist dataflow solver and the standard analyses.
+
+:func:`solve` runs any :class:`DataflowAnalysis` (forward or backward)
+over a :class:`~repro.core.analysis.cfg.CFG` to a fixed point, with an
+optional widening hook for infinite-height lattices (intervals).  On
+top of it:
+
+* :func:`liveness` — per-statement live-in/live-out variable sets;
+* :func:`reaching_definitions` — which definitions reach each
+  statement (parameters count as definitions at entry);
+* :func:`use_def_chains` / :func:`def_use_chains` — the chains derived
+  from reaching definitions;
+* :func:`constant_facts` — per-statement known-constant environments
+  (literal assignments and copies);
+* :func:`interval_facts` — per-statement numeric value ranges with
+  widening after :data:`WIDEN_AFTER` visits.
+
+All per-statement result dictionaries are keyed by ``id(stmt)`` — the
+same convention the fusion segmenter uses — so facts stay attached to
+statement objects across in-place rewrites until a pass declares them
+invalid.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core import ir
+from repro.core.analysis.cfg import CFG, build_cfg
+from repro.core.depgraph import stmt_def, stmt_uses
+
+__all__ = ["DataflowAnalysis", "solve", "liveness",
+           "reaching_definitions", "use_def_chains", "def_use_chains",
+           "constant_facts", "interval_facts", "NONCONST",
+           "WIDEN_AFTER"]
+
+#: Block-visit budget before the interval analysis widens to ±inf.
+WIDEN_AFTER = 4
+
+
+class DataflowAnalysis:
+    """One analysis: a lattice (``initial``/``join``) plus a transfer
+    function folded over each block's statements."""
+
+    name = "dataflow"
+    direction = "forward"  # or "backward"
+
+    def boundary(self, cfg: CFG, method: ir.Method):
+        """Fact at the entry (forward) or exit (backward) block."""
+        return self.initial(cfg, method)
+
+    def initial(self, cfg: CFG, method: ir.Method):
+        raise NotImplementedError
+
+    def join(self, facts: list):
+        raise NotImplementedError
+
+    def transfer(self, stmt: ir.Stmt, fact):
+        """Fact after ``stmt`` given the fact before it (in the
+        analysis direction)."""
+        raise NotImplementedError
+
+    def widen(self, old, new, visits: int):
+        """Hook for infinite lattices; the default never widens."""
+        return new
+
+
+def solve(cfg: CFG, analysis: DataflowAnalysis, method: ir.Method) \
+        -> dict[int, tuple]:
+    """Run ``analysis`` to a fixed point; returns
+    ``{block_index: (fact_in, fact_out)}`` in the analysis direction
+    (for backward analyses ``fact_in`` is the fact at block *exit*)."""
+    forward = analysis.direction == "forward"
+    preds = cfg.preds
+    edges_in = preds if forward else cfg.succs
+    edges_out = cfg.succs if forward else preds
+    start = cfg.entry if forward else cfg.exit
+
+    n = len(cfg.blocks)
+    fact_in = [analysis.initial(cfg, method) for _ in range(n)]
+    fact_out = [analysis.initial(cfg, method) for _ in range(n)]
+    fact_in[start] = analysis.boundary(cfg, method)
+    visits = [0] * n
+
+    worklist = deque(range(n))
+    while worklist:
+        index = worklist.popleft()
+        visits[index] += 1
+        incoming = [fact_out[p] for p in edges_in[index]]
+        if incoming:
+            joined = analysis.join(incoming)
+            if index != start:
+                fact_in[index] = joined
+            else:
+                fact_in[index] = analysis.join(
+                    [fact_in[index]] + incoming)
+        fact = fact_in[index]
+        stmts = cfg.blocks[index].stmts
+        for stmt in (stmts if forward else reversed(stmts)):
+            fact = analysis.transfer(stmt, fact)
+        fact = analysis.widen(fact_out[index], fact, visits[index])
+        if fact != fact_out[index]:
+            fact_out[index] = fact
+            for succ in edges_out[index]:
+                if succ not in worklist:
+                    worklist.append(succ)
+    return {i: (fact_in[i], fact_out[i]) for i in range(n)}
+
+
+def _per_stmt(cfg: CFG, analysis: DataflowAnalysis, method: ir.Method) \
+        -> dict[int, tuple]:
+    """Replay block facts statement by statement:
+    ``{id(stmt): (fact_before, fact_after)}`` in program order."""
+    block_facts = solve(cfg, analysis, method)
+    forward = analysis.direction == "forward"
+    result: dict[int, tuple] = {}
+    for block in cfg.blocks:
+        fact = block_facts[block.index][0]
+        stmts = block.stmts if forward else list(reversed(block.stmts))
+        for stmt in stmts:
+            after = analysis.transfer(stmt, fact)
+            if forward:
+                result[id(stmt)] = (fact, after)
+            else:
+                result[id(stmt)] = (after, fact)
+            fact = after
+    return result
+
+
+# ---------------------------------------------------------------------------
+# liveness (backward, set union)
+# ---------------------------------------------------------------------------
+
+class _Liveness(DataflowAnalysis):
+    name = "liveness"
+    direction = "backward"
+
+    def initial(self, cfg, method):
+        return frozenset()
+
+    def join(self, facts):
+        out: set[str] = set()
+        for fact in facts:
+            out |= fact
+        return frozenset(out)
+
+    def transfer(self, stmt, fact):
+        defined = stmt_def(stmt)
+        if defined is not None:
+            fact = fact - {defined}
+        return frozenset(fact | stmt_uses(stmt))
+
+
+def liveness(method: ir.Method) -> dict[int, tuple]:
+    """``{id(stmt): (live_in, live_out)}`` variable sets."""
+    return _per_stmt(build_cfg(method), _Liveness(), method)
+
+
+# ---------------------------------------------------------------------------
+# reaching definitions (forward, set union)
+# ---------------------------------------------------------------------------
+
+#: A definition site: ``("param", name)`` or ``("stmt", id(stmt))``.
+
+class _Reaching(DataflowAnalysis):
+    name = "reaching-defs"
+    direction = "forward"
+
+    def initial(self, cfg, method):
+        return frozenset()
+
+    def boundary(self, cfg, method):
+        return frozenset((p.name, ("param", p.name))
+                         for p in method.params)
+
+    def join(self, facts):
+        out: set = set()
+        for fact in facts:
+            out |= fact
+        return frozenset(out)
+
+    def transfer(self, stmt, fact):
+        defined = stmt_def(stmt)
+        if defined is None:
+            return fact
+        kept = {entry for entry in fact if entry[0] != defined}
+        kept.add((defined, ("stmt", id(stmt))))
+        return frozenset(kept)
+
+
+def reaching_definitions(method: ir.Method) -> dict[int, tuple]:
+    """``{id(stmt): (reach_in, reach_out)}`` where each fact is a
+    frozenset of ``(var, def_site)`` pairs."""
+    return _per_stmt(build_cfg(method), _Reaching(), method)
+
+
+def use_def_chains(method: ir.Method) -> dict[int, dict]:
+    """``{id(stmt): {used_var: tuple(def_sites)}}``."""
+    reach = reaching_definitions(method)
+    chains: dict[int, dict] = {}
+    for stmt in method.walk_stmts():
+        fact_in = reach.get(id(stmt))
+        if fact_in is None:
+            continue
+        uses = stmt_uses(stmt)
+        per_var: dict[str, tuple] = {}
+        for var in sorted(uses):
+            sites = tuple(sorted((site for name, site in fact_in[0]
+                                  if name == var), key=repr))
+            per_var[var] = sites
+        chains[id(stmt)] = per_var
+    return chains
+
+
+def def_use_chains(method: ir.Method) -> dict:
+    """``{def_site: tuple(id(stmt) of uses)}`` — the inverse chains."""
+    chains = use_def_chains(method)
+    inverse: dict = {}
+    for stmt in method.walk_stmts():
+        for sites in chains.get(id(stmt), {}).values():
+            for site in sites:
+                inverse.setdefault(site, []).append(id(stmt))
+    return {site: tuple(uses) for site, uses in inverse.items()}
+
+
+# ---------------------------------------------------------------------------
+# constants (forward, per-variable must-equal lattice)
+# ---------------------------------------------------------------------------
+
+class _NonConst:
+    """Bottom marker for "assigned, value unknown"."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NONCONST"
+
+
+NONCONST = _NonConst()
+
+
+def _const_items(fact: dict) -> frozenset:
+    return frozenset((k, repr(v)) for k, v in fact.items())
+
+
+class _Constants(DataflowAnalysis):
+    name = "constants"
+    direction = "forward"
+
+    def initial(self, cfg, method):
+        return {}
+
+    def boundary(self, cfg, method):
+        return {p.name: NONCONST for p in method.params}
+
+    def join(self, facts):
+        if not facts:
+            return {}
+        out = dict(facts[0])
+        for fact in facts[1:]:
+            for name in list(out):
+                if name not in fact:
+                    del out[name]
+                elif repr(out[name]) != repr(fact[name]):
+                    out[name] = NONCONST
+        return out
+
+    def transfer(self, stmt, fact):
+        defined = stmt_def(stmt)
+        if defined is None:
+            return fact
+        out = dict(fact)
+        out[defined] = _eval_const(stmt.expr, fact)
+        return out
+
+
+def _eval_const(expr: ir.Expr, fact: dict):
+    if isinstance(expr, ir.Literal):
+        return expr.value
+    if isinstance(expr, ir.SymbolLit):
+        return expr.name
+    if isinstance(expr, ir.Var):
+        return fact.get(expr.name, NONCONST)
+    if isinstance(expr, ir.Cast):
+        inner = _eval_const(expr.expr, fact)
+        if inner is NONCONST:
+            return NONCONST
+        return inner
+    return NONCONST
+
+
+def constant_facts(method: ir.Method) -> dict[int, tuple]:
+    """``{id(stmt): (consts_in, consts_out)}`` — each a
+    ``{var: value-or-NONCONST}`` map."""
+    return _per_stmt(build_cfg(method), _Constants(), method)
+
+
+# ---------------------------------------------------------------------------
+# intervals (forward, widening)
+# ---------------------------------------------------------------------------
+
+_INF = float("inf")
+
+_INTERVAL_OPS = {
+    "add": lambda a, b: (a[0] + b[0], a[1] + b[1]),
+    "sub": lambda a, b: (a[0] - b[1], a[1] - b[0]),
+    "neg": lambda a: (-a[1], -a[0]),
+    "abs": lambda a: ((0.0 if a[0] < 0 <= a[1]
+                       else min(abs(a[0]), abs(a[1]))),
+                      max(abs(a[0]), abs(a[1]))),
+    "min2": lambda a, b: (min(a[0], b[0]), min(a[1], b[1])),
+    "max2": lambda a, b: (max(a[0], b[0]), max(a[1], b[1])),
+}
+
+
+def _mul_interval(a, b):
+    products = [a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1]]
+    products = [0.0 if p != p else p for p in products]  # 0*inf -> 0
+    return (min(products), max(products))
+
+
+class _Intervals(DataflowAnalysis):
+    name = "intervals"
+    direction = "forward"
+
+    def initial(self, cfg, method):
+        return {}
+
+    def boundary(self, cfg, method):
+        return {p.name: (-_INF, _INF) for p in method.params}
+
+    def join(self, facts):
+        if not facts:
+            return {}
+        out = dict(facts[0])
+        for fact in facts[1:]:
+            for name in list(out):
+                if name not in fact:
+                    del out[name]
+                else:
+                    lo = min(out[name][0], fact[name][0])
+                    hi = max(out[name][1], fact[name][1])
+                    out[name] = (lo, hi)
+        return out
+
+    def transfer(self, stmt, fact):
+        defined = stmt_def(stmt)
+        if defined is None:
+            return fact
+        out = dict(fact)
+        out[defined] = _eval_interval(stmt.expr, fact)
+        return out
+
+    def widen(self, old, new, visits):
+        if visits <= WIDEN_AFTER or not isinstance(old, dict):
+            return new
+        widened = dict(new)
+        for name, bounds in widened.items():
+            previous = old.get(name)
+            if previous is None:
+                continue
+            lo, hi = bounds
+            if lo < previous[0]:
+                lo = -_INF
+            if hi > previous[1]:
+                hi = _INF
+            widened[name] = (lo, hi)
+        return widened
+
+
+def _eval_interval(expr: ir.Expr, fact: dict):
+    top = (-_INF, _INF)
+    if isinstance(expr, ir.Literal):
+        if isinstance(expr.value, bool):
+            v = float(expr.value)
+            return (v, v)
+        if isinstance(expr.value, (int, float)):
+            v = float(expr.value)
+            return (v, v)
+        return top
+    if isinstance(expr, ir.Var):
+        return fact.get(expr.name, top)
+    if isinstance(expr, ir.Cast):
+        return _eval_interval(expr.expr, fact)
+    if isinstance(expr, ir.BuiltinCall):
+        if expr.name == "range" and len(expr.args) == 1:
+            n = _eval_interval(expr.args[0], fact)
+            return (0.0, max(n[1] - 1, 0.0))
+        if expr.name in ("len", "count"):
+            return (0.0, _INF)
+        op = _INTERVAL_OPS.get(expr.name)
+        if op is not None:
+            args = [_eval_interval(a, fact) for a in expr.args]
+            try:
+                return op(*args)
+            except (TypeError, ValueError):  # pragma: no cover
+                return top
+        if expr.name == "mul":
+            return _mul_interval(_eval_interval(expr.args[0], fact),
+                                 _eval_interval(expr.args[1], fact))
+        if expr.name in ("sum", "prod", "cumsum", "avg"):
+            return top
+        if expr.name in ("min", "max", "compress", "index", "take",
+                         "reverse", "unique", "concat", "subseq",
+                         "fill"):
+            # Selection/reordering never widens element bounds beyond
+            # the argument's.
+            sources = [_eval_interval(a, fact) for a in expr.args]
+            lo = min((s[0] for s in sources), default=-_INF)
+            hi = max((s[1] for s in sources), default=_INF)
+            return (lo, hi)
+        if expr.name in ("lt", "gt", "leq", "geq", "eq", "neq", "and",
+                         "or", "not", "any", "all"):
+            return (0.0, 1.0)
+    return top
+
+
+def interval_facts(method: ir.Method) -> dict[int, tuple]:
+    """``{id(stmt): (intervals_in, intervals_out)}`` — each a
+    ``{var: (lo, hi)}`` map over element values."""
+    return _per_stmt(build_cfg(method), _Intervals(), method)

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, NamedTuple, Sequence
 
 import numpy as np
 
@@ -40,7 +40,8 @@ from repro.core.values import (ListValue, TableValue, Value, Vector, scalar,
 from repro.errors import BuiltinError
 
 __all__ = ["Builtin", "EvalContext", "BUILTINS", "get", "exists",
-           "run_profiled", "materializes_output"]
+           "run_profiled", "materializes_output", "BuiltinSig",
+           "SIGNATURES", "signature"]
 
 #: Builtins whose result is a reference to existing storage (the base
 #: table, one of its columns) rather than a newly materialized vector.
@@ -1038,3 +1039,132 @@ def _run_subseq(args: list[Value], _: EvalContext) -> Value:
 
 
 _register(Builtin("subseq", "opaque", 3, _infer_first, _run_subseq))
+
+
+# ---------------------------------------------------------------------------
+# Static signatures (consumed by repro.core.analysis.typeshape)
+# ---------------------------------------------------------------------------
+
+class BuiltinSig(NamedTuple):
+    """Static contract of one builtin, for the type/shape checker.
+
+    ``args`` lists one *constraint kind* per argument position (see
+    :data:`CONSTRAINT_KINDS`); with ``variadic=True`` the last entry
+    repeats for every extra argument.  ``shape`` names the result-shape
+    rule the inference engine applies (``"elementwise"`` broadcasts the
+    argument lengths, ``"reduction"`` yields a scalar, ``"same:N"``
+    copies argument *N*'s shape, and so on — the full rule inventory
+    lives in :mod:`repro.core.analysis.typeshape`)."""
+
+    args: tuple
+    shape: str
+    variadic: bool = False
+
+
+#: Constraint vocabulary.  ``any`` admits every type; the rest restrict
+#: the *element* type of a vector argument (wildcards always pass —
+#: they re-check at runtime, exactly as before this table existed).
+CONSTRAINT_KINDS = ("any", "numeric", "numeric_or_date", "bool",
+                    "integer", "comparable", "strlike", "date",
+                    "table", "list", "sym", "vector")
+
+_EW2 = ("numeric", "numeric")
+_CMP2 = ("comparable", "comparable")
+
+SIGNATURES: dict[str, BuiltinSig] = {
+    # arithmetic
+    "add": BuiltinSig(("numeric_or_date", "numeric_or_date"),
+                      "elementwise"),
+    "sub": BuiltinSig(("numeric_or_date", "numeric_or_date"),
+                      "elementwise"),
+    "mul": BuiltinSig(_EW2, "elementwise"),
+    "div": BuiltinSig(_EW2, "elementwise"),
+    "mod": BuiltinSig(_EW2, "elementwise"),
+    "power": BuiltinSig(_EW2, "elementwise"),
+    "neg": BuiltinSig(("numeric",), "elementwise"),
+    "abs": BuiltinSig(("numeric",), "elementwise"),
+    "exp": BuiltinSig(("numeric",), "elementwise"),
+    "log": BuiltinSig(("numeric",), "elementwise"),
+    "sqrt": BuiltinSig(("numeric",), "elementwise"),
+    "floor": BuiltinSig(("numeric",), "elementwise"),
+    "ceil": BuiltinSig(("numeric",), "elementwise"),
+    "round": BuiltinSig(("numeric",), "elementwise"),
+    "sign": BuiltinSig(("numeric",), "elementwise"),
+    # comparisons (same comparability group on both sides)
+    "lt": BuiltinSig(_CMP2, "elementwise"),
+    "gt": BuiltinSig(_CMP2, "elementwise"),
+    "leq": BuiltinSig(_CMP2, "elementwise"),
+    "geq": BuiltinSig(_CMP2, "elementwise"),
+    "eq": BuiltinSig(("any", "any"), "elementwise"),
+    "neq": BuiltinSig(("any", "any"), "elementwise"),
+    # logical
+    "and": BuiltinSig(("numeric", "numeric"), "elementwise"),
+    "or": BuiltinSig(("numeric", "numeric"), "elementwise"),
+    "not": BuiltinSig(("numeric",), "elementwise"),
+    "min2": BuiltinSig(("numeric_or_date", "numeric_or_date"),
+                       "elementwise"),
+    "max2": BuiltinSig(("numeric_or_date", "numeric_or_date"),
+                       "elementwise"),
+    "if_else": BuiltinSig(("numeric", "any", "any"), "elementwise"),
+    # dates
+    "date_year": BuiltinSig(("date",), "elementwise"),
+    "date_month": BuiltinSig(("date",), "elementwise"),
+    "date_day": BuiltinSig(("date",), "elementwise"),
+    "date_to_i64": BuiltinSig(("date",), "elementwise"),
+    # strings
+    "like": BuiltinSig(("strlike", "strlike"), "elementwise"),
+    "startswith": BuiltinSig(("strlike", "strlike"), "elementwise"),
+    "member": BuiltinSig(("vector", "vector"), "elementwise"),
+    # reductions
+    "sum": BuiltinSig(("numeric",), "reduction"),
+    "prod": BuiltinSig(("numeric",), "reduction"),
+    "avg": BuiltinSig(("numeric",), "reduction"),
+    "min": BuiltinSig(("comparable",), "reduction"),
+    "max": BuiltinSig(("comparable",), "reduction"),
+    "count": BuiltinSig(("any",), "reduction"),
+    "any": BuiltinSig(("numeric",), "reduction"),
+    "all": BuiltinSig(("numeric",), "reduction"),
+    # selection / scan
+    "compress": BuiltinSig(("bool", "vector"), "compress"),
+    "index": BuiltinSig(("vector", "integer"), "index"),
+    "where": BuiltinSig(("numeric",), "where"),
+    "cumsum": BuiltinSig(("numeric",), "same:0"),
+    # constructors / reshaping
+    "range": BuiltinSig(("numeric",), "range"),
+    "fill": BuiltinSig(("numeric", "any"), "fill"),
+    "concat": BuiltinSig(("vector",), "vector", variadic=True),
+    "len": BuiltinSig(("any",), "scalar"),
+    "reverse": BuiltinSig(("vector",), "same:0"),
+    "unique": BuiltinSig(("vector",), "vector"),
+    "take": BuiltinSig(("vector", "numeric"), "vector"),
+    "subseq": BuiltinSig(("vector", "numeric", "numeric"), "vector"),
+    # database
+    "load_table": BuiltinSig(("sym",), "table"),
+    "column_value": BuiltinSig(("table", "sym"), "column"),
+    "table": BuiltinSig(("vector", "list"), "table"),
+    "list": BuiltinSig(("any",), "list", variadic=True),
+    "list_item": BuiltinSig(("list", "numeric"), "unknown"),
+    "group": BuiltinSig(("any",), "list", variadic=True),
+    "group_sum": BuiltinSig(("numeric", "integer", "integer"),
+                            "group_agg"),
+    "group_count": BuiltinSig(("vector", "integer", "integer"),
+                              "group_agg"),
+    "group_avg": BuiltinSig(("numeric", "integer", "integer"),
+                            "group_agg"),
+    "group_min": BuiltinSig(("vector", "integer", "integer"),
+                            "group_agg"),
+    "group_max": BuiltinSig(("vector", "integer", "integer"),
+                            "group_agg"),
+    "join_index": BuiltinSig(("any", "any", "sym"), "list"),
+    "order": BuiltinSig(("any", "bool"), "vector"),
+    # pattern-fusion targets
+    "sum_masked": BuiltinSig(("bool", "numeric"), "masked_reduction"),
+    "dot_masked": BuiltinSig(("bool", "numeric", "numeric"),
+                             "masked_reduction"),
+}
+
+
+def signature(name: str) -> BuiltinSig | None:
+    """Static signature for ``@name``; ``None`` for builtins the
+    checker treats as fully dynamic."""
+    return SIGNATURES.get(name)

@@ -33,7 +33,7 @@ import numpy as np
 from repro.core import builtins as hb
 from repro.core import ir
 from repro.core import types as ht
-from repro.core.optimizer.fusion import ANY, BASE, Segment
+from repro.core.optimizer.fusion import BASE, Segment
 from repro.core.values import Vector
 from repro.errors import BuiltinError, CodegenError, HorseRuntimeError
 

@@ -13,6 +13,11 @@ SQL shapes the evaluation exercises:
   compressed operands.
 * ``masked-sum`` — ``a = @compress(m, x); s = @sum(a)`` collapses to
   ``s = @sum_masked(m, x)``.
+* ``redundant-cast`` — ``x = check_cast(v, T)`` becomes the alias
+  ``x = v`` when every definition of ``v`` declares exactly ``T``:
+  assignment coerces to the declared type, so the cast is an identity.
+  List-forwarding creates these when it substitutes an already-cast
+  column into a table UDF's output cast.
 
 Patterns only fire when every interior value has a single consumer (the
 rewrite removes those values), which the block dependence graph provides.
@@ -32,7 +37,38 @@ def apply_patterns(method: ir.Method) -> bool:
     """Rewrite ``method`` in place; returns True when anything changed."""
     taken = analysis.method_names(method)
     fresh = analysis.fresh_namer(taken)
-    return _rewrite_body(method.body, fresh)
+    changed = _rewrite_body(method.body, fresh)
+    changed |= _drop_redundant_casts(method)
+    return changed
+
+
+def _drop_redundant_casts(method: ir.Method) -> bool:
+    """Replace ``check_cast(v, T)`` with ``v`` when ``v``'s declared
+    type is consistently ``T`` (conflicting redeclarations disable the
+    rewrite for that variable)."""
+    declared: dict[str, ht.HorseType | None] = \
+        {p.name: p.type for p in method.params}
+    for stmt in method.walk_stmts():
+        if isinstance(stmt, ir.Assign):
+            if stmt.target in declared \
+                    and declared[stmt.target] != stmt.type:
+                declared[stmt.target] = None
+            else:
+                declared.setdefault(stmt.target, stmt.type)
+    changed = False
+    for stmt in method.walk_stmts():
+        if not isinstance(stmt, ir.Assign) \
+                or not isinstance(stmt.expr, ir.Cast):
+            continue
+        operand = stmt.expr.expr
+        if not isinstance(operand, ir.Var):
+            continue
+        source = declared.get(operand.name)
+        if source is not None and not source.is_wildcard \
+                and source == stmt.expr.type:
+            stmt.expr = operand
+            changed = True
+    return changed
 
 
 def _rewrite_body(body: list[ir.Stmt], fresh) -> bool:

@@ -48,13 +48,13 @@ from dataclasses import dataclass, field
 
 from repro.core import ir
 from repro.core.limits import NULL_LIMITS
-from repro.errors import HorseVerifyError, OptimizerError, \
-    PassVerificationError
+from repro.errors import HorseTypeError, HorseVerifyError, \
+    OptimizerError, PassVerificationError
 from repro.obs import get_tracer
 
 __all__ = [
     "Pass", "MethodPass", "ModulePass", "PlanPass", "StatsPlanPass",
-    "Pipeline",
+    "Pipeline", "AnalysisCache",
     "PassManager", "PassStat", "OptimizeStats", "resolve_pipeline",
     "preset", "custom_pipeline", "registered_pass_names",
     "PRESET_NAMES", "MAX_ROUNDS", "DEFAULT_DUMP_DIR",
@@ -122,9 +122,12 @@ class Pass:
     plan tree — returns the rewritten tree), ``"module"`` (a whole
     :class:`~repro.core.ir.Module` — returns the rewritten module) or
     ``"method"`` (one method, mutated in place — returns whether
-    anything changed).  ``invalidates`` is an advisory tuple of
-    analysis names downstream passes may no longer trust (pure
-    documentation today; the manager re-derives everything per pass).
+    anything changed).  ``invalidates`` names the cached analyses a
+    *changing* application of this pass makes stale: the manager drops
+    exactly those entries from its :class:`AnalysisCache` for the
+    rewritten method and keeps the rest.  Facts a pass preserves by
+    construction (the scalar group is type-preserving, so it leaves
+    ``"typecheck"`` alone) survive fixed-point rounds untouched.
     """
 
     level: str = "method"
@@ -228,6 +231,25 @@ class StatsPlanPass(PlanPass):
 # the registry
 # ---------------------------------------------------------------------------
 
+#: Every dataflow fact the analysis framework caches.  Any rewrite
+#: that touches a method body makes all of them stale; only the
+#: semantic ``"typecheck"`` verdict can survive a rewrite (the scalar
+#: group substitutes same-typed values and deletes dead code, so a
+#: well-typed method stays well-typed).
+_DATAFLOW_FACTS = ("liveness", "reaching-defs", "use-chains",
+                   "constants", "intervals", "copies")
+
+
+def _typecheck_pass_fn(method: ir.Method) -> bool:
+    # ``--passes typecheck``: an analysis run as a pass.  Method-level
+    # passes see no module, so cross-method calls check as wildcards;
+    # the manager's verify hook passes the module and checks them too.
+    from repro.core.analysis.checker import check_method
+
+    check_method(method, None)
+    return False
+
+
 def _make_ir_pass(name: str, *, fixed_point: bool) -> Pass:
     # Imported lazily: repro.core.optimizer.* → optimizer/__init__ →
     # pipeline.py, which imports this module at its top.
@@ -240,19 +262,25 @@ def _make_ir_pass(name: str, *, fixed_point: bool) -> Pass:
                                                forward_list_items)
 
     if name == "inline":
-        return ModulePass("inline", inline_methods,
-                          invalidates=("callgraph",))
+        return ModulePass(
+            "inline", inline_methods,
+            invalidates=_DATAFLOW_FACTS + ("typecheck", "callgraph"))
+    if name == "typecheck":
+        return MethodPass("typecheck", _typecheck_pass_fn,
+                          fixed_point=fixed_point)
     fns = {
-        "list-forwarding": (forward_list_items, ("use-chains",)),
-        "constprop": (propagate_constants, ("constants",)),
-        "copyprop": (propagate_copies, ("copies",)),
-        "cse": (eliminate_common_subexpressions, ("use-chains",)),
-        "dce": (eliminate_dead_code, ("liveness",)),
-        "patterns": (apply_patterns, ("use-chains", "liveness")),
+        "list-forwarding": forward_list_items,
+        "constprop": propagate_constants,
+        "copyprop": propagate_copies,
+        "cse": eliminate_common_subexpressions,
+        "dce": eliminate_dead_code,
     }
-    fn, invalidates = fns[name]
-    return MethodPass(name, fn, fixed_point=fixed_point,
-                      invalidates=invalidates)
+    if name == "patterns":
+        return MethodPass(
+            "patterns", apply_patterns, fixed_point=fixed_point,
+            invalidates=_DATAFLOW_FACTS + ("typecheck",))
+    return MethodPass(name, fns[name], fixed_point=fixed_point,
+                      invalidates=_DATAFLOW_FACTS)
 
 
 def _make_plan_pass(name: str) -> Pass:
@@ -283,7 +311,8 @@ _PLAN_PASS_NAMES = ("predicate-pushdown", "column-pruning",
 _ROUND_PASS_NAMES = ("list-forwarding", "constprop", "copyprop", "cse",
                      "dce")
 
-_IR_PASS_NAMES = ("inline",) + _ROUND_PASS_NAMES + ("patterns",)
+_IR_PASS_NAMES = ("inline",) + _ROUND_PASS_NAMES + ("patterns",
+                                                    "typecheck")
 
 
 def registered_pass_names() -> tuple[str, ...]:
@@ -408,16 +437,61 @@ class _PassContext:
         self.table_stats = table_stats
 
 
+class AnalysisCache:
+    """Per-method analysis facts, memoized across pass applications.
+
+    Keyed ``(method name, analysis name)``.  :meth:`get` computes on
+    miss; passes that report a change drop the entries their
+    ``invalidates`` tuple names, so a fixed-point round that rewrites
+    nothing re-derives nothing.  ``hits``/``misses`` are observable
+    counters (tests and ``EXPLAIN ANALYZE`` read them)."""
+
+    def __init__(self):
+        self._facts: dict[tuple[str, str], object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, method: ir.Method, name: str, compute):
+        """The cached ``name`` fact for ``method``, computing (and
+        storing) ``compute(method)`` on first request."""
+        key = (method.name, name)
+        if key in self._facts:
+            self.hits += 1
+            return self._facts[key]
+        self.misses += 1
+        value = compute(method)
+        self._facts[key] = value
+        return value
+
+    def invalidate(self, method_name: str, names) -> None:
+        """Drop the named facts for one method."""
+        for name in names:
+            self._facts.pop((method_name, name), None)
+
+    def invalidate_all(self) -> None:
+        """Drop everything (module-level rewrites splice across
+        methods, so per-method dropping is not enough)."""
+        self._facts.clear()
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+
 class PassManager:
     """Runs one :class:`Pipeline` over a plan and/or a module.
 
     One instance serves one compilation: ``run_plan`` during planning,
     ``run_module`` during optimization.  ``verify=True`` re-verifies
-    the IR after every pass application
-    (:exc:`~repro.errors.PassVerificationError` names the offending
-    pass and statement); ``dump_dir`` writes numbered IR snapshots
-    before the first pass and after every pass (per round inside the
-    fixed-point group) via the existing printer."""
+    the IR after every pass application — structurally
+    (:mod:`repro.core.verify_ir`) *and* semantically
+    (:mod:`repro.core.analysis.checker`, the type/shape checker) —
+    with :exc:`~repro.errors.PassVerificationError` naming the
+    offending pass and statement.  The semantic verdict is cached per
+    method on :attr:`analyses` and survives passes whose
+    ``invalidates`` declaration preserves it; ``dump_dir`` writes
+    numbered IR snapshots before the first pass and after every pass
+    (per round inside the fixed-point group) via the existing
+    printer."""
 
     def __init__(self, pipeline: Pipeline, *, verify: bool = False,
                  dump_dir: str | None = None,
@@ -427,6 +501,8 @@ class PassManager:
         self.dump_dir = dump_dir
         self.max_rounds = max_rounds
         self._dump_seq = 0
+        #: Memoized per-method analysis facts for this compilation.
+        self.analyses = AnalysisCache()
         #: Per-pass stats rows, keyed by pass name (insertion-ordered).
         self._stats_index: dict[str, PassStat] = {}
 
@@ -512,6 +588,8 @@ class PassManager:
         if ps.name == "inline":
             stats.inlined_methods_removed = removed
         changed = removed > 0
+        if changed:
+            self.analyses.invalidate_all()
         if changed and ps.records:
             _note(stats, ps.name)
         if ps.records:
@@ -567,6 +645,8 @@ class PassManager:
                          stmts_after=_count_statements(method.body),
                          changed=changed)
         elapsed = time.perf_counter() - start
+        if changed:
+            self.analyses.invalidate(method.name, ps.invalidates)
         if changed and ps.records:
             _note(stats, ps.name)
         if ps.records:
@@ -597,6 +677,8 @@ class PassManager:
             verify_ir_module(module)
         except HorseVerifyError as exc:
             raise PassVerificationError(pass_name, str(exc)) from exc
+        for method in module.methods.values():
+            self._typecheck(pass_name, method, module)
 
     def _verify_method(self, pass_name, method, module) -> None:
         if not self.verify:
@@ -605,6 +687,20 @@ class PassManager:
         try:
             verify_ir_method(method, module)
         except HorseVerifyError as exc:
+            raise PassVerificationError(pass_name, str(exc),
+                                        method=method.name) from exc
+        self._typecheck(pass_name, method, module)
+
+    def _typecheck(self, pass_name, method, module) -> None:
+        # The semantic half of --verify-ir.  The cached verdict (True)
+        # survives type-preserving passes; a pass whose ``invalidates``
+        # names "typecheck" forces a re-check after any change.
+        from repro.core.analysis.checker import check_method
+        try:
+            self.analyses.get(
+                method, "typecheck",
+                lambda m: (check_method(m, module), True)[1])
+        except HorseTypeError as exc:
             raise PassVerificationError(pass_name, str(exc),
                                         method=method.name) from exc
 

@@ -19,6 +19,9 @@ the offending statement:
 * declared/literal type consistency: an ``Assign`` whose right-hand
   side is a plain literal (or a cast) must declare the type the
   expression produces;
+* return-type consistency: a ``return`` whose value has a statically
+  known type (a literal, a cast, or a variable with one consistent
+  declaration) must match the method's declared return type;
 * no orphaned statements: code after a ``return`` (or after an ``if``
   whose branches both return) can never execute — the flat-IR analog
   of an orphaned label — and every path ends in a ``return``.
@@ -30,7 +33,6 @@ Pass authors get one entry point per granularity:
 
 from __future__ import annotations
 
-from repro.core import builtins as hb
 from repro.core import ir
 from repro.core.printer import print_stmt
 from repro.core.verify import verify_method
@@ -61,6 +63,7 @@ def verify_ir_method(method: ir.Method,
             f"unknown builtin in method {method.name!r}: "
             f"{exc}") from exc
     _check_body(method.body, method)
+    _check_return_types(method)
 
 
 def _check_body(body: list[ir.Stmt], method: ir.Method) -> None:
@@ -110,3 +113,40 @@ def _check_assign_types(stmt: ir.Assign, method: ir.Method) -> None:
             f"type mismatch in method {method.name!r}: "
             f"{stmt.target!r} declares {declared} but its expression "
             f"produces {produced} ({print_stmt(stmt)})")
+
+
+def _check_return_types(method: ir.Method) -> None:
+    """Every ``return`` whose value has a statically known type must
+    agree with the method's declared return type (wildcards on either
+    side opt out)."""
+    declared = method.ret_type
+    if declared is None or declared.is_wildcard:
+        return
+    var_types = {p.name: p.type for p in method.params}
+    for stmt in method.walk_stmts():
+        if not isinstance(stmt, ir.Assign):
+            continue
+        if stmt.target in var_types \
+                and var_types[stmt.target] != stmt.type:
+            var_types[stmt.target] = None  # conflicting redeclaration
+        else:
+            var_types.setdefault(stmt.target, stmt.type)
+    for stmt in method.walk_stmts():
+        if not isinstance(stmt, ir.Return):
+            continue
+        expr = stmt.expr
+        if isinstance(expr, ir.Literal) and expr.type is not None:
+            produced = expr.type
+        elif isinstance(expr, ir.Cast):
+            produced = expr.type
+        elif isinstance(expr, ir.Var):
+            produced = var_types.get(expr.name)
+        else:
+            continue
+        if produced is None or produced.is_wildcard:
+            continue
+        if produced != declared:
+            raise HorseVerifyError(
+                f"return type mismatch in method {method.name!r}: "
+                f"declares {declared} but returns a value of type "
+                f"{produced} ({print_stmt(stmt)})")

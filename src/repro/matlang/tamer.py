@@ -22,7 +22,8 @@ from repro.matlang import tameir as t
 from repro.matlang.builtins import MATLAB_BUILTINS, infer_result_type
 from repro.matlang.parser import parse_program
 
-__all__ = ["tame_program", "tame_source", "ParamSpec"]
+__all__ = ["tame_program", "tame_source", "ParamSpec",
+           "find_shadowed_builtins", "find_unreachable_statements"]
 
 #: (element type, shape) pair describing one entry-function parameter.
 ParamSpec = tuple  # ("f64", "vector") etc.
@@ -426,3 +427,75 @@ class _Tamer:
                               base_spec[0], "vector", env, out)
         return self._emit("index", [base, index], base_spec[0],
                           index_spec[1], env, out)
+
+
+# ---------------------------------------------------------------------------
+# MATLAB source lint detectors (consumed by repro.core.analysis.lint)
+# ---------------------------------------------------------------------------
+
+def find_shadowed_builtins(program: ast.Program) -> list[tuple]:
+    """``(function, message)`` for every parameter or assignment target
+    whose name is a registered MATLAB builtin.
+
+    Shadowing is silently load-bearing in the tamer: once a name is in
+    the environment, ``_flatten_call`` resolves ``name(...)`` as
+    *indexing*, so ``sum = 3; sum(x)`` indexes the scalar instead of
+    reducing ``x`` — legal MATLAB, but almost always a mistake."""
+    findings = []
+    for function in program.functions:
+        reported: set[str] = set()
+        for name in function.params:
+            if name in MATLAB_BUILTINS and name not in reported:
+                reported.add(name)
+                findings.append(
+                    (function.name,
+                     f"parameter {name!r} shadows the builtin "
+                     f"{name!r}: calls to {name}(...) become indexing"))
+        for target in _assigned_names(function.body):
+            if target in MATLAB_BUILTINS and target not in reported:
+                reported.add(target)
+                findings.append(
+                    (function.name,
+                     f"variable {target!r} shadows the builtin "
+                     f"{target!r}: calls to {target}(...) become "
+                     f"indexing"))
+    return findings
+
+
+def _assigned_names(body: list[ast.Stmt]):
+    for stmt in body:
+        if isinstance(stmt, ast.Assign):
+            yield stmt.target
+        elif isinstance(stmt, ast.If):
+            for _, branch in stmt.branches:
+                yield from _assigned_names(branch)
+            yield from _assigned_names(stmt.else_body)
+        elif isinstance(stmt, ast.While):
+            yield from _assigned_names(stmt.body)
+
+
+def find_unreachable_statements(program: ast.Program) -> list[tuple]:
+    """``(function, message)`` for statements after a ``return`` in the
+    same block — they can never execute."""
+    findings = []
+    for function in program.functions:
+        _unreachable_in(function.body, function.name, findings)
+    return findings
+
+
+def _unreachable_in(body: list[ast.Stmt], function: str,
+                    findings: list) -> None:
+    for index, stmt in enumerate(body):
+        if isinstance(stmt, ast.Return) and index + 1 < len(body):
+            trailing = len(body) - index - 1
+            findings.append(
+                (function,
+                 f"{trailing} statement(s) after return can never "
+                 f"execute"))
+            break
+        if isinstance(stmt, ast.If):
+            for _, branch in stmt.branches:
+                _unreachable_in(branch, function, findings)
+            _unreachable_in(stmt.else_body, function, findings)
+        elif isinstance(stmt, ast.While):
+            _unreachable_in(stmt.body, function, findings)

@@ -32,8 +32,9 @@ from repro.obs.prof import (NULL_PROFILE, AllocationProfile, FusionSavings,
                             fusion_savings, get_profile, set_profile,
                             use_profile)
 from repro.obs.render import (chrome_trace, chrome_trace_json,
-                              format_pass_stats, phase_coverage,
-                              render_explain_analyze, render_plan)
+                              format_lint_findings, format_pass_stats,
+                              phase_coverage, render_explain_analyze,
+                              render_plan)
 from repro.obs.tracer import (NULL_TRACER, NullTracer, Span, Tracer,
                               get_tracer, set_tracer, use_tracer)
 from repro.obs.telemetry import (FlightRecorder, MetricsServer, QueryLog,
@@ -47,7 +48,7 @@ __all__ = [
     "NullAllocationProfile", "format_fusion_savings", "fusion_savings",
     "get_profile", "set_profile", "use_profile",
     "chrome_trace", "chrome_trace_json", "phase_coverage",
-    "format_pass_stats",
+    "format_pass_stats", "format_lint_findings",
     "render_explain_analyze", "render_plan",
     "NULL_TRACER", "NullTracer", "Span", "Tracer", "get_tracer",
     "set_tracer", "use_tracer",

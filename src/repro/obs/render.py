@@ -24,7 +24,8 @@ from repro.obs.prof import format_bytes
 from repro.obs.tracer import Span
 
 __all__ = ["render_explain_analyze", "render_plan", "chrome_trace",
-           "chrome_trace_json", "phase_coverage", "format_pass_stats"]
+           "chrome_trace_json", "phase_coverage", "format_pass_stats",
+           "format_lint_findings"]
 
 #: Attributes whose values are unstable across runs (golden tests render
 #: with ``timings=False`` and rely on the remaining attributes only).
@@ -270,3 +271,35 @@ def _nested_alloc(span: Span) -> float:
 def chrome_trace_json(spans: list[Span], *, indent: int | None = None
                       ) -> str:
     return json.dumps(chrome_trace(spans), indent=indent, default=str)
+
+
+def format_lint_findings(findings) -> str:
+    """Lint findings as an aligned text table (the ``lint`` command's
+    ``--format text`` output).
+
+    ``findings`` is a list of
+    :class:`~repro.core.analysis.lint.Finding`; one row per finding
+    with the stable rule ID, severity, layer, location, and message.
+    An empty list renders as the single line ``no findings``."""
+    if not findings:
+        return "no findings"
+    rows = [(f.rule, f.severity, f.layer, f.location, f.message)
+            for f in findings]
+    header = ("rule", "severity", "layer", "location", "message")
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+              for i in range(4)]
+
+    def fmt(row):
+        cells = [row[i].ljust(widths[i]) for i in range(4)]
+        return "  ".join(cells + [row[4]])
+
+    lines = [fmt(header),
+             fmt(tuple("-" * w for w in widths) + ("-" * 7,))]
+    lines.extend(fmt(row) for row in rows)
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.severity] = counts.get(f.severity, 0) + 1
+    summary = ", ".join(f"{n} {sev}" for sev, n in sorted(counts.items()))
+    lines.append(f"{len(findings)} finding"
+                 f"{'' if len(findings) == 1 else 's'} ({summary})")
+    return "\n".join(lines)

@@ -34,7 +34,9 @@ from repro.sql import ast
 from repro.sql import plan as p
 from repro.sql.udf import UDFRegistry
 
-__all__ = ["push_predicates", "prune_columns", "reorder_by_selectivity"]
+__all__ = ["push_predicates", "prune_columns", "reorder_by_selectivity",
+           "find_filters_without_columns", "find_unfiltered_cross_joins",
+           "find_unlimited_sorts"]
 
 
 # ---------------------------------------------------------------------------
@@ -397,3 +399,84 @@ def _reorder(node: p.PlanNode, store) -> p.PlanNode:
             node.child = child
         return node
     return node
+
+
+# ---------------------------------------------------------------------------
+# Plan lint detectors (consumed by repro.core.analysis.lint)
+# ---------------------------------------------------------------------------
+
+def _plan_children(node: p.PlanNode) -> list[p.PlanNode]:
+    if isinstance(node, p.Join):
+        return [node.left, node.right]
+    child = getattr(node, "child", None)
+    return [child] if child is not None else []
+
+
+def _walk_plan(node: p.PlanNode, ancestors: tuple = ()):
+    """Yield ``(node, ancestors)`` pairs, root first (ancestors are
+    ordered nearest-first)."""
+    yield node, ancestors
+    for child in _plan_children(node):
+        yield from _walk_plan(child, (node,) + ancestors)
+
+
+def find_filters_without_columns(plan: p.PlanNode) -> list[tuple]:
+    """``(location, message)`` for every Filter whose predicate
+    references no column its child produces — a predicate that can
+    only be constant-true or constant-false (usually a typo'd name
+    that slipped past resolution, or a degenerate rewrite)."""
+    findings = []
+    for node, _ in _walk_plan(plan):
+        if not isinstance(node, p.Filter):
+            continue
+        referenced = _expr_columns(node.predicate)
+        available = set(node.child.output_names())
+        if referenced and not (referenced & available):
+            missing = ", ".join(sorted(referenced))
+            findings.append(
+                (node.describe(),
+                 f"filter references no column of its input "
+                 f"(uses: {missing})"))
+        elif not referenced:
+            findings.append(
+                (node.describe(),
+                 "filter predicate references no columns at all "
+                 "(constant predicate)"))
+    return findings
+
+
+def find_unfiltered_cross_joins(plan: p.PlanNode) -> list[tuple]:
+    """``(location, message)`` for every keyless (cross) join with no
+    Filter anywhere above it — a full Cartesian product whose output
+    nothing ever narrows."""
+    findings = []
+    for node, ancestors in _walk_plan(plan):
+        if not isinstance(node, p.Join):
+            continue
+        if node.left_keys or node.right_keys:
+            continue
+        if any(isinstance(a, p.Filter) for a in ancestors):
+            continue
+        findings.append(
+            (node.describe(),
+             "cross join (no keys) with no follow-up filter: "
+             "produces the full Cartesian product"))
+    return findings
+
+
+def find_unlimited_sorts(plan: p.PlanNode) -> list[tuple]:
+    """``(location, message)`` for every Sort with no Limit above it —
+    a full sort where a top-k pass would do.  Informational: ORDER BY
+    without LIMIT is legitimate SQL, so the lint rule carrying this
+    detector is off by default."""
+    findings = []
+    for node, ancestors in _walk_plan(plan):
+        if not isinstance(node, p.Sort):
+            continue
+        if any(isinstance(a, p.Limit) for a in ancestors):
+            continue
+        findings.append(
+            (node.describe(),
+             "full sort with no LIMIT above it (top-k would avoid "
+             "sorting the whole input)"))
+    return findings

@@ -1,0 +1,277 @@
+"""The lint rule registry and drivers: one intentionally-broken
+fixture per rule ID (exact diagnostics + JSON schema), registry
+invariants, and the golden clean-tree gate over every built-in
+workload (TPC-H plain/extended/UDF, Black-Scholes scalar/table, and
+the MATLAB sources)."""
+
+import json
+
+from repro.cli import main
+from repro.core import ir
+from repro.core import types as ht
+from repro.core.analysis import (LINT_JSON_VERSION, RULES,
+                                 default_rule_ids, findings_to_json,
+                                 lint_matlab, lint_module, lint_plan)
+from repro.core.analysis.lint import SEVERITIES
+from repro.core.parser import parse_module
+from repro.matlang.parser import parse_program
+from repro.sql import plan as p
+
+
+class TestRegistry:
+    def test_ids_are_stable(self):
+        assert tuple(RULES) == ("H001", "H002", "H003", "H004",
+                                "P001", "P002", "P003",
+                                "M001", "M002")
+
+    def test_every_rule_is_consistent(self):
+        for rule_id, rule in RULES.items():
+            assert rule.id == rule_id
+            assert rule.severity in SEVERITIES
+            assert rule.layer in ("hir", "plan", "matlab")
+            assert rule.name and rule.summary
+
+    def test_default_set_excludes_advisories(self):
+        defaults = default_rule_ids()
+        assert "H004" not in defaults  # fusion report, not a defect
+        assert "P003" not in defaults  # perf advisory
+        assert set(defaults) == {"H001", "H002", "H003",
+                                 "P001", "P002", "M001", "M002"}
+
+
+class TestBrokenHorseIRFixtures:
+    def test_h001_unused_parameter(self):
+        module = parse_module("""
+        module M {
+            def main(a:f64, b:f64): f64 {
+                x:f64 = @mul(a, 2.0:f64);
+                return x;
+            }
+        }
+        """)
+        findings = lint_module(module)
+        assert [f.rule for f in findings] == ["H001"]
+        finding = findings[0]
+        assert finding.location == "method 'main'"
+        assert finding.message == "parameter 'b' is never read"
+        assert finding.severity == "warning"
+
+    def test_h002_dead_method(self):
+        module = parse_module("""
+        module M {
+            def orphan(x:f64): f64 {
+                y:f64 = @mul(x, 2.0:f64);
+                return y;
+            }
+            def main(a:f64): f64 {
+                x:f64 = @add(a, 1.0:f64);
+                return x;
+            }
+        }
+        """)
+        findings = lint_module(module)
+        assert [f.rule for f in findings] == ["H002"]
+        assert findings[0].location == "method 'orphan'"
+        assert findings[0].message \
+            == "never called from entry method 'main'"
+
+    def test_h003_redundant_cast(self):
+        module = parse_module("""
+        module M {
+            def main(v:f64): f64 {
+                a:f64 = @mul(v, 2.0:f64);
+                c:f64 = check_cast(a, f64);
+                return c;
+            }
+        }
+        """)
+        findings = lint_module(module)
+        assert [f.rule for f in findings] == ["H003"]
+        assert "check_cast(a, f64) is redundant" in findings[0].message
+        assert "already has type f64" in findings[0].message
+
+    def test_h003_silent_on_enforcing_cast(self):
+        # The cast *changes* the type: that is the cast doing its job.
+        module = parse_module("""
+        module M {
+            def main(v:i64): f64 {
+                c:f64 = check_cast(v, f64);
+                return c;
+            }
+        }
+        """)
+        assert lint_module(module) == []
+
+    def test_h004_fusion_blocker_is_opt_in(self):
+        module = ir.Module("M")
+        helper = ir.Method("helper", [ir.Param("x", ht.F64)], ht.F64, [
+            ir.Return(ir.Var("x")),
+        ])
+        entry = ir.Method("main", [ir.Param("v", ht.F64)], ht.F64, [
+            ir.Assign("b", ht.F64, ir.MethodCall("helper",
+                                                 [ir.Var("v")])),
+            ir.Return(ir.Var("b")),
+        ])
+        module.add(helper)
+        module.add(entry)
+        assert [f for f in lint_module(module)
+                if f.rule == "H004"] == []
+        findings = lint_module(module, rules=("H004",))
+        assert [f.rule for f in findings] == ["H004"]
+        assert "uninlined method call" in findings[0].message
+        assert findings[0].severity == "info"
+
+
+class TestBrokenPlanFixtures:
+    def test_p001_constant_predicate(self, tmp_path, capsys):
+        # Through the real CLI path: plan a query whose filter
+        # references no columns.
+        import numpy as np
+
+        from repro.engine.storage import Database
+
+        db = Database()
+        db.create_table("t", {"x": np.arange(4, dtype=np.float64)})
+        path = tmp_path / "t.tbl"
+        db.save_csv("t", str(path))
+        code = main(["lint", "--table", f"t={path}@x:f64",
+                     "--sql", "SELECT x FROM t WHERE 1 < 2"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "P001" in out
+        assert "constant predicate" in out
+
+    def test_p002_cross_join_without_filter(self):
+        # The SQL frontend refuses keyless joins, so the degenerate
+        # plan is built directly — the shape a buggy rewrite would
+        # leave behind.
+        join = p.Join(left=p.Scan(table="a", columns=["x"]),
+                      right=p.Scan(table="b", columns=["y"]))
+        findings = lint_plan(join)
+        assert [f.rule for f in findings] == ["P002"]
+        assert "Cartesian product" in findings[0].message
+
+    def test_p002_silent_when_filtered_above(self):
+        from repro.sql import ast as sast
+
+        join = p.Join(left=p.Scan(table="a", columns=["x"]),
+                      right=p.Scan(table="b", columns=["y"]))
+        filtered = p.Filter(child=join,
+                            predicate=sast.Col(name="x"))
+        assert [f for f in lint_plan(filtered)
+                if f.rule == "P002"] == []
+
+    def test_p003_sort_without_limit_is_opt_in(self, tmp_path,
+                                               capsys):
+        import numpy as np
+
+        from repro.engine.storage import Database
+
+        db = Database()
+        db.create_table("t", {"x": np.arange(4, dtype=np.float64)})
+        path = tmp_path / "t.tbl"
+        db.save_csv("t", str(path))
+        sql = "SELECT x FROM t ORDER BY x"
+        assert main(["lint", "--table", f"t={path}@x:f64",
+                     "--sql", sql]) == 0
+        capsys.readouterr()
+        code = main(["lint", "--table", f"t={path}@x:f64",
+                     "--select", "P003", "--sql", sql])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "P003" in out
+        assert "full sort with no LIMIT" in out
+
+
+class TestBrokenMatlabFixtures:
+    def test_m001_shadowed_builtin(self):
+        program = parse_program("""
+        function y = f(x)
+            sum = x + 1;
+            y = sum;
+        end
+        """)
+        findings = lint_matlab(program)
+        assert [f.rule for f in findings] == ["M001"]
+        assert findings[0].location == "function 'f'"
+        assert "shadows the builtin 'sum'" in findings[0].message
+        assert "become indexing" in findings[0].message
+
+    def test_m002_unreachable_code(self):
+        program = parse_program("""
+        function y = g(x)
+            y = x;
+            return;
+            y = x + 1;
+        end
+        """)
+        findings = lint_matlab(program)
+        assert [f.rule for f in findings] == ["M002"]
+        assert findings[0].location == "function 'g'"
+        assert findings[0].message \
+            == "1 statement(s) after return can never execute"
+
+
+class TestJsonSchema:
+    def test_documented_shape(self):
+        program = parse_program("""
+        function y = f(x)
+            sum = x + 1;
+            y = sum;
+        end
+        """)
+        doc = findings_to_json(lint_matlab(program))
+        assert doc["version"] == LINT_JSON_VERSION
+        assert doc["counts"] == {"warning": 1}
+        (finding,) = doc["findings"]
+        assert set(finding) == {"rule", "name", "layer", "severity",
+                                "location", "message"}
+        assert finding["rule"] == "M001"
+        assert finding["name"] == "shadowed-builtin"
+        assert finding["layer"] == "matlab"
+        json.dumps(doc)  # must be serializable as-is
+
+    def test_empty_findings(self):
+        assert findings_to_json([]) == {
+            "version": LINT_JSON_VERSION, "findings": [], "counts": {}}
+
+    def test_cli_json_output_validates(self, tmp_path, capsys):
+        source = tmp_path / "f.m"
+        source.write_text(
+            "function y = f(x)\n"
+            "    sum = x + 1;\n"
+            "    y = sum;\n"
+            "    return;\n"
+            "    y = 0;\n"
+            "end\n")
+        code = main(["lint", "--matlab", str(source),
+                     "--format", "json"])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == LINT_JSON_VERSION
+        assert sorted(f["rule"] for f in doc["findings"]) \
+            == ["M001", "M002"]
+        assert doc["counts"] == {"warning": 2}
+
+
+class TestGoldenWorkloadsLintClean:
+    """The CI clean-tree gate: every built-in workload — all TPC-H
+    plain/extended/UDF queries, every Black-Scholes scalar and table
+    variant, and all four MATLAB sources — lints clean under the
+    default rule set."""
+
+    def test_all_workloads_clean(self, capsys):
+        code = main(["lint", "--workloads", "--tpch", "0.002",
+                     "--format", "json"])
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert doc["findings"] == [], doc["findings"]
+        assert doc["counts"] == {}
+        assert code == 0
+
+    def test_matlab_sources_clean(self):
+        from repro.workloads import matlab_sources
+
+        for name in matlab_sources.__all__:
+            program = parse_program(getattr(matlab_sources, name))
+            assert lint_matlab(program) == [], name

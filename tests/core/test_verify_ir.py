@@ -94,6 +94,35 @@ class TestSeededMutations:
         with pytest.raises(HorseVerifyError, match="no methods"):
             verify_ir_module(module)
 
+    def test_return_type_mismatch_is_rejected(self):
+        module = _module()
+        helper = module.methods["helper"]
+        # Declared f64, but the returned variable is declared i64.
+        helper.body[0] = ir.Assign("y", ht.I64, ir.Literal(2, ht.I64))
+        with pytest.raises(HorseVerifyError,
+                           match="return type mismatch"):
+            verify_ir_method(helper, module)
+
+    def test_return_literal_type_mismatch_is_rejected(self):
+        module = _module()
+        helper = module.methods["helper"]
+        helper.body[1] = ir.Return(ir.Literal(1, ht.I64))
+        with pytest.raises(HorseVerifyError,
+                           match="return type mismatch"):
+            verify_ir_method(helper, module)
+
+    def test_conflicting_redeclaration_opts_out_of_return_check(self):
+        # A variable declared under two different types has no single
+        # static type; the return check must not guess.
+        module = _module()
+        helper = module.methods["helper"]
+        helper.body = [
+            ir.Assign("y", ht.I64, ir.BuiltinCall("sum", [ir.Var("x")])),
+            ir.Assign("y", ht.F64, ir.BuiltinCall("abs", [ir.Var("y")])),
+            ir.Return(ir.Var("y")),
+        ]
+        verify_ir_method(helper, module)
+
 
 class TestPassManagerVerification:
     """``--verify-ir`` mode: the manager re-verifies after every pass

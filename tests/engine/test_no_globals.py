@@ -21,9 +21,11 @@ from repro.obs.prof import NullAllocationProfile
 from repro.obs.tracer import NullTracer
 
 #: Modules whose globals are audited: the facade package, the
-#: observability package, and the executor-pool module — the three
-#: places process-global state used to live.
-AUDITED_ROOTS = ["repro.horsepower", "repro.obs"]
+#: observability package, the statistics and static-analysis packages,
+#: and the executor-pool module — the places process-global state
+#: used to live or where caches could quietly become ambient.
+AUDITED_ROOTS = ["repro.horsepower", "repro.obs", "repro.stats",
+                 "repro.core.analysis"]
 AUDITED_MODULES = ["repro.core.execpool", "repro.core.context",
                    "repro.core.limits", "repro.engine.session",
                    "repro.engine.backends", "repro.engine.governor"]
@@ -48,6 +50,10 @@ ALLOWLIST = {
     # NULL_PROFILE until the CLI's --profile or use_profile installs a
     # real profile process-wide; isolated sessions never read it.
     ("repro.obs.prof", "_profile"),
+    # The constant-propagation lattice's "not a constant" sentinel: a
+    # stateless singleton (attribute-less instance) compared by
+    # identity, never written to.
+    ("repro.core.analysis.dataflow", "NONCONST"),
 }
 
 #: Types that cannot hold cross-query mutable state.  ``NullTracer``,
